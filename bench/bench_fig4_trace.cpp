@@ -1,0 +1,82 @@
+// Regenerates Figure 4: the execution trace of Loop-Lifted StandOff
+// MergeJoin (select-narrow) on the Section 4.5 example input.
+//
+//   context  (iter|start|end): c1=(1,0,15) c2=(2,12,35) c3=(1,20,30)
+//                              c4=(1,55,80)
+//   candidates (start|end):    r1=(5,10) r2=(22,45) r3=(40,60) r4=(65,70)
+//   result:                    (iter1, r1), (iter1, r4)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "standoff/merge_join.h"
+#include "storage/document_store.h"
+
+namespace {
+
+class PrintTrace : public standoff::so::TraceSink {
+ public:
+  void Event(const std::string& what) override {
+    std::printf("  %2d  %s\n", ++step_, what.c_str());
+  }
+
+ private:
+  int step_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace standoff;
+  storage::DocumentStore store;
+  auto id = store.AddDocumentText("fig4.xml",
+                                  R"(<r><c start="5" end="10"/>
+                                        <c start="22" end="45"/>
+                                        <c start="40" end="60"/>
+                                        <c start="65" end="70"/></r>)");
+  if (!id.ok()) return 1;
+  auto index_result = so::RegionIndex::Build(
+      store.table(0), so::Resolve(so::StandoffConfig{}, store.names()));
+  if (!index_result.ok()) return 1;
+  so::RegionIndex index = index_result.MoveValueUnsafe();
+
+  std::printf("=== Figure 4: loop-lifted StandOff MergeJoin trace "
+              "(select-narrow) ===\n\n");
+  std::printf("context : c1=(iter1,[0,15]) c2=(iter2,[12,35]) "
+              "c3=(iter1,[20,30]) c4=(iter1,[55,80])\n");
+  std::printf("candidates: r1=[5,10] r2=[22,45] r3=[40,60] r4=[65,70]\n\n");
+
+  std::vector<so::IterRegion> context{
+      {0, 0, 15, 0},
+      {1, 12, 35, 1},
+      {0, 20, 30, 2},
+      {0, 55, 80, 3},
+  };
+  std::vector<uint32_t> ann_iters{0, 1, 0, 0};
+
+  PrintTrace trace;
+  so::JoinOptions options;
+  options.trace = &trace;
+  std::vector<so::IterMatch> out;
+  Status st = so::LoopLiftedStandoffJoin(
+      so::StandoffOp::kSelectNarrow, context, ann_iters, index.entries(),
+      index, index.annotated_ids(), 2, &out, options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nresult:");
+  const char* names[] = {"r1", "r2", "r3", "r4"};
+  for (const so::IterMatch& m : out) {
+    std::printf(" (iter%u, %s)", m.iter + 1, names[m.pre - 2]);
+  }
+  std::printf("\npaper expects: (iter1, r1) (iter1, r4)\n");
+  std::printf("\nNote: the paper's printed trace skips c3 outright; this\n"
+              "implementation only prunes context items provably contained\n"
+              "in a same-iteration active item, so c3 is added and later\n"
+              "retired. The produced matches are identical.\n");
+  bool ok = out.size() == 2 && out[0].iter == 0 && out[0].pre == 2 &&
+            out[1].iter == 0 && out[1].pre == 5;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,199 @@
+// Figure 6 reproduction: StandOff XMark Q1, Q2, Q6, Q7 (in seconds) at
+// several document sizes for the paper's implementation alternatives.
+//
+//   paper labels:  11MB  55MB  110MB  550MB  1100MB  (scale 0.1 ... 10)
+//   defaults here: scale 0.01, 0.05, 0.1  (~1.1MB, ~5.5MB, ~11MB inline)
+//
+// Environment knobs:
+//   STANDOFF_BENCH_SCALES   comma-separated scale factors (default
+//                           "0.01,0.05,0.1")
+//   STANDOFF_BENCH_TIMEOUT  per-query DNF budget in seconds (default 15;
+//                           the paper used one hour)
+//   STANDOFF_BENCH_FULL=1   use the paper's scales 0.1,0.5,1.0
+//                           (11/55/110MB) with a 120s budget
+//   STANDOFF_BENCH_REPEAT   repetitions per measurement (default 1; the
+//                           minimum over repeats is reported)
+//
+// Expected shape (Section 4.6): the XQuery-function alternatives are one
+// to two orders of magnitude slower than the merge joins and blow up /
+// DNF as sizes grow (the no-candidates variant DNFs almost immediately);
+// Basic StandOff MergeJoin matches Loop-Lifted on the single-iteration
+// queries Q1/Q6/Q7 but DNFs on Q2, where its per-iteration invocation
+// re-scans the region index once per auction; Loop-Lifted StandOff
+// MergeJoin stays interactive everywhere.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "storage/document_store.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xmark/standoff_transform.h"
+#include "xquery/engine.h"
+
+namespace {
+
+using standoff::Timer;
+using standoff::xquery::Engine;
+using standoff::xquery::StandoffMode;
+using standoff::xquery::StandoffModeName;
+
+std::vector<double> ParseScales(const char* env) {
+  std::vector<double> scales;
+  for (const std::string& part : standoff::Split(env, ',')) {
+    auto v = standoff::ParseDouble(part);
+    if (v.ok()) scales.push_back(*v);
+  }
+  return scales;
+}
+
+struct Cell {
+  double seconds = 0;
+  bool dnf = false;
+  bool error = false;
+  std::string detail;
+};
+
+std::string FormatCell(const Cell& cell) {
+  if (cell.error) return "ERR";
+  if (cell.dnf) return "DNF";
+  char buf[32];
+  if (cell.seconds < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4f", cell.seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", cell.seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const char* scales_env = std::getenv("STANDOFF_BENCH_SCALES");
+  const char* timeout_env = std::getenv("STANDOFF_BENCH_TIMEOUT");
+  const bool full = std::getenv("STANDOFF_BENCH_FULL") != nullptr;
+  const char* repeat_env = std::getenv("STANDOFF_BENCH_REPEAT");
+
+  std::vector<double> scales =
+      scales_env ? ParseScales(scales_env)
+                 : (full ? std::vector<double>{0.1, 0.5, 1.0}
+                         : std::vector<double>{0.01, 0.05, 0.1});
+  double timeout = full ? 120.0 : 15.0;
+  if (timeout_env) timeout = standoff::ParseDouble(timeout_env).ValueOr(timeout);
+  int repeat = 1;
+  if (repeat_env) repeat = static_cast<int>(
+      standoff::ParseInt64(repeat_env).ValueOr(1));
+
+  const StandoffMode kModes[] = {
+      StandoffMode::kUdfNoCandidates,
+      StandoffMode::kUdfCandidates,
+      StandoffMode::kBasicMergeJoin,
+      StandoffMode::kLoopLifted,
+  };
+
+  std::printf("=== Figure 6: StandOff XMark Q1/Q2/Q6/Q7 (seconds; DNF = "
+              "exceeded %.0fs budget) ===\n\n",
+              timeout);
+
+  // Load every size once; engines share the store.
+  struct Dataset {
+    double scale;
+    size_t inline_bytes;
+    size_t standoff_bytes;
+    std::unique_ptr<standoff::storage::DocumentStore> store;
+  };
+  std::vector<Dataset> datasets;
+  for (double scale : scales) {
+    Timer prep;
+    standoff::xmark::XmarkOptions options;
+    options.scale = scale;
+    std::string doc = standoff::xmark::GenerateXmark(options);
+    auto so_doc = standoff::xmark::ToStandoff(doc);
+    if (!so_doc.ok()) {
+      std::fprintf(stderr, "transform failed: %s\n",
+                   so_doc.status().ToString().c_str());
+      return 1;
+    }
+    Dataset ds;
+    ds.scale = scale;
+    ds.inline_bytes = doc.size();
+    ds.standoff_bytes = so_doc->xml.size();
+    ds.store = std::make_unique<standoff::storage::DocumentStore>();
+    auto id = ds.store->AddDocumentText("xmark.xml", so_doc->xml);
+    if (!id.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    (void)ds.store->SetBlob(*id, std::move(so_doc->blob));
+    std::printf("prepared scale %.3g: inline %s, standoff %s, blob+load in "
+                "%.1fs\n",
+                scale, standoff::HumanBytes(ds.inline_bytes).c_str(),
+                standoff::HumanBytes(ds.standoff_bytes).c_str(),
+                prep.ElapsedSeconds());
+    datasets.push_back(std::move(ds));
+  }
+  std::printf("\n");
+
+  for (const standoff::xmark::XmarkQuery& query :
+       standoff::xmark::BenchmarkQueries()) {
+    std::printf("--- XMark %s (StandOff form) ---\n", query.name);
+    std::printf("%-26s", "implementation");
+    for (const Dataset& ds : datasets) {
+      std::printf("  %10s", standoff::HumanBytes(ds.inline_bytes).c_str());
+    }
+    std::printf("\n");
+
+    for (StandoffMode mode : kModes) {
+      std::printf("%-26s", StandoffModeName(mode));
+      bool prior_dnf = false;
+      for (const Dataset& ds : datasets) {
+        Cell cell;
+        if (prior_dnf) {
+          // Monotone workloads: once a mode DNFs, larger sizes will too.
+          cell.dnf = true;
+        } else {
+          Engine engine(ds.store.get());
+          engine.set_standoff_mode(mode);
+          engine.mutable_options()->timeout_seconds = timeout;
+          double best = -1;
+          for (int rep = 0; rep < repeat; ++rep) {
+            Timer timer;
+            auto r = engine.Evaluate(query.standoff);
+            double elapsed = timer.ElapsedSeconds();
+            if (!r.ok()) {
+              if (r.status().IsTimedOut()) {
+                cell.dnf = true;
+              } else {
+                cell.error = true;
+                cell.detail = r.status().ToString();
+              }
+              break;
+            }
+            if (best < 0 || elapsed < best) best = elapsed;
+          }
+          cell.seconds = best < 0 ? 0 : best;
+          if (cell.dnf) prior_dnf = true;
+        }
+        std::printf("  %10s", FormatCell(cell).c_str());
+        if (cell.error) {
+          std::fprintf(stderr, "  [%s %s] %s\n", query.name,
+                       StandoffModeName(mode), cell.detail.c_str());
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading guide: compare rows per query. The paper's Figure 6 shows\n"
+      "udf variants 1-2 orders of magnitude above the merge joins (DNF\n"
+      "without candidates), basic-mergejoin DNF on Q2, and\n"
+      "loop-lifted-mergejoin interactive at every size.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Substrate throughput: XML parsing, shredding, the StandOff document
+// transformation, and region-index construction. These are the fixed
+// costs in front of every Figure 6 measurement.
+
+#include <benchmark/benchmark.h>
+
+#include "standoff/region_index.h"
+#include "storage/document_store.h"
+#include "xmark/generator.h"
+#include "xmark/standoff_transform.h"
+#include "xml/dom.h"
+
+namespace {
+
+using namespace standoff;
+
+const std::string& XmarkText() {
+  static const std::string* text = [] {
+    xmark::XmarkOptions options;
+    options.scale = 0.02;
+    return new std::string(xmark::GenerateXmark(options));
+  }();
+  return *text;
+}
+
+const xmark::StandoffDocument& StandoffDoc() {
+  static const xmark::StandoffDocument* doc = [] {
+    auto d = xmark::ToStandoff(XmarkText());
+    if (!d.ok()) std::abort();
+    return new xmark::StandoffDocument(d.MoveValueUnsafe());
+  }();
+  return *doc;
+}
+
+void BM_Generate(benchmark::State& state) {
+  xmark::XmarkOptions options;
+  options.scale = 0.02;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string doc = xmark::GenerateXmark(options);
+    bytes = doc.size();
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+
+void BM_ParseAndShred(benchmark::State& state) {
+  const std::string& text = XmarkText();
+  for (auto _ : state) {
+    storage::DocumentStore store;
+    auto id = store.AddDocumentText("x.xml", text);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          state.iterations());
+}
+
+void BM_ParseToDom(benchmark::State& state) {
+  const std::string& text = XmarkText();
+  for (auto _ : state) {
+    auto doc = xml::Parse(text);
+    if (!doc.ok()) state.SkipWithError(doc.status().ToString().c_str());
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          state.iterations());
+}
+
+void BM_StandoffTransform(benchmark::State& state) {
+  const std::string& text = XmarkText();
+  for (auto _ : state) {
+    auto so_doc = xmark::ToStandoff(text);
+    if (!so_doc.ok()) state.SkipWithError(so_doc.status().ToString().c_str());
+    benchmark::DoNotOptimize(so_doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          state.iterations());
+}
+
+void BM_RegionIndexBuild(benchmark::State& state) {
+  storage::DocumentStore store;
+  auto id = store.AddDocumentText("so.xml", StandoffDoc().xml);
+  if (!id.ok()) std::abort();
+  const so::ResolvedConfig config =
+      so::Resolve(so::StandoffConfig{}, store.names());
+  size_t entries = 0;
+  for (auto _ : state) {
+    auto index = so::RegionIndex::Build(store.table(0), config);
+    if (!index.ok()) state.SkipWithError(index.status().ToString().c_str());
+    entries = index->size();
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["entries"] = static_cast<double>(entries);
+  state.counters["entries_per_s"] = benchmark::Counter(
+      static_cast<double>(entries) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ElementIndexBuild(benchmark::State& state) {
+  storage::DocumentStore store;
+  auto id = store.AddDocumentText("so.xml", StandoffDoc().xml);
+  if (!id.ok()) std::abort();
+  for (auto _ : state) {
+    storage::ElementIndex index;
+    index.Build(store.table(0), store.names().size());
+    benchmark::DoNotOptimize(index);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Generate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParseAndShred)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParseToDom)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StandoffTransform)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RegionIndexBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ElementIndexBuild)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

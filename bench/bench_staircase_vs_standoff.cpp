@@ -1,0 +1,111 @@
+// Section 4.6 claim: "the overall performance of select-narrow is less
+// than 20% slower than the loop-lifted descendant Staircase Join".
+//
+// We compare apples to apples: the same logical workload — for every open
+// auction, find its bidders — executed (a) as a loop-lifted descendant
+// step over the nested XMark document (Staircase Join) and (b) as a
+// loop-lifted select-narrow step over the StandOff version of the same
+// document (StandOff MergeJoin on the region index). Both run through the
+// engine with identical query shapes.
+//
+// STANDOFF_BENCH_SCALES sets the scales (default "0.05,0.1").
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "storage/document_store.h"
+#include "xmark/generator.h"
+#include "xmark/standoff_transform.h"
+#include "xquery/engine.h"
+
+namespace {
+
+using standoff::Timer;
+
+double MeasureSeconds(standoff::xquery::Engine* engine, const char* query,
+                      int repeats, size_t* result_count) {
+  double best = -1;
+  for (int i = 0; i < repeats; ++i) {
+    Timer timer;
+    auto r = engine->Evaluate(query);
+    double elapsed = timer.ElapsedSeconds();
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    *result_count = r->items.size();
+    if (best < 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const char* scales_env = std::getenv("STANDOFF_BENCH_SCALES");
+  std::vector<double> scales{0.05, 0.1};
+  if (scales_env) {
+    scales.clear();
+    for (const std::string& part : standoff::Split(scales_env, ',')) {
+      auto v = standoff::ParseDouble(part);
+      if (v.ok()) scales.push_back(*v);
+    }
+  }
+
+  std::printf("=== select-narrow vs. descendant Staircase Join (Section 4.6 "
+              "claim: < 20%% slower) ===\n\n");
+  std::printf("%-10s %14s %16s %16s %9s\n", "scale", "iterations",
+              "staircase (s)", "select-nrw (s)", "ratio");
+
+  // The loop-lifted descendant step: bidders per auction on the nested doc.
+  const char* kDescendantQuery =
+      "for $a in /site/open_auctions/open_auction "
+      "return count($a/descendant::bidder)";
+  // The same workload on the StandOff document (rooted identically).
+  const char* kStandoffQuery =
+      "for $a in /site/select-narrow::open_auctions"
+      "/select-narrow::open_auction "
+      "return count($a/select-narrow::bidder)";
+
+  for (double scale : scales) {
+    standoff::xmark::XmarkOptions options;
+    options.scale = scale;
+    std::string doc = standoff::xmark::GenerateXmark(options);
+    auto so_doc = standoff::xmark::ToStandoff(doc);
+    if (!so_doc.ok()) return 1;
+
+    standoff::storage::DocumentStore nested_store;
+    if (!nested_store.AddDocumentText("xmark.xml", doc).ok()) return 1;
+    standoff::storage::DocumentStore so_store;
+    if (!so_store.AddDocumentText("standoff.xml", so_doc->xml).ok()) return 1;
+
+    standoff::xquery::Engine nested_engine(&nested_store);
+    standoff::xquery::Engine so_engine(&so_store);
+    // Warm the region index so the comparison isolates the join itself,
+    // mirroring the paper's pre-built index.
+    {
+      auto warm = so_engine.Evaluate("count(//site/select-narrow::regions)");
+      if (!warm.ok()) return 1;
+    }
+
+    size_t n1 = 0, n2 = 0;
+    double staircase = MeasureSeconds(&nested_engine, kDescendantQuery, 3,
+                                      &n1);
+    double select_narrow = MeasureSeconds(&so_engine, kStandoffQuery, 3, &n2);
+    if (n1 != n2) {
+      std::fprintf(stderr, "result mismatch: %zu vs %zu\n", n1, n2);
+      return 1;
+    }
+    std::printf("%-10.3g %14zu %16.4f %16.4f %8.2fx\n", scale, n1, staircase,
+                select_narrow, select_narrow / staircase);
+  }
+
+  std::printf("\nThe paper reports the ratio below 1.2x: the StandOff join "
+              "does the same\nsingle merge pass, plus region-index "
+              "candidate intersection per step.\n");
+  return 0;
+}
