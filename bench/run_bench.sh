@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark micro-benchmarks with JSON output and merges
+# them into BENCH_results.json at the repo root, so the performance
+# trajectory is machine-readable PR over PR.
+#
+# Usage: bench/run_bench.sh [build-dir] [extra google-benchmark flags...]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+shift || true
+OUT="$REPO_ROOT/BENCH_results.json"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+BENCHES=(bench_mergejoin_micro bench_ablation_active_list
+         bench_ablation_pushdown bench_loading)
+
+ran=0
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "skipping $bench (not built in $BUILD_DIR)" >&2
+    continue
+  fi
+  echo "=== $bench ===" >&2
+  "$bin" --benchmark_format=json "$@" > "$TMP_DIR/$bench.json"
+  ran=$((ran + 1))
+done
+
+if [[ "$ran" -eq 0 ]]; then
+  echo "no benchmarks found in $BUILD_DIR; leaving $OUT untouched" >&2
+  exit 1
+fi
+
+# Merge: one top-level object keyed by benchmark binary.
+python3 - "$OUT" "$TMP_DIR" <<'PY'
+import json, pathlib, sys
+out_path, tmp_dir = sys.argv[1], sys.argv[2]
+merged = {}
+for path in sorted(pathlib.Path(tmp_dir).glob("*.json")):
+    merged[path.stem] = json.loads(path.read_text())
+pathlib.Path(out_path).write_text(json.dumps(merged, indent=2) + "\n")
+print(f"wrote {out_path}")
+PY

@@ -1,0 +1,110 @@
+// Minimal Status / StatusOr error-handling vocabulary used across the
+// library. Modeled on absl::Status but self-contained: a code, an optional
+// message, and a StatusOr<T> that carries either a value or the error.
+#ifndef STANDOFF_COMMON_STATUS_H_
+#define STANDOFF_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace standoff {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kTimedOut = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status TimedOut(std::string m) {
+    return Status(StatusCode::kTimedOut, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+#define STANDOFF_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::standoff::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out; the StatusOr must hold one. Named "unsafe"
+  /// because the caller vouches for ok() and the object is left moved-from.
+  T MoveValueUnsafe() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace standoff
+
+#endif  // STANDOFF_COMMON_STATUS_H_

@@ -1,0 +1,77 @@
+#include "common/string_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace standoff {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  if (text.empty()) return pieces;
+  size_t begin = 0;
+  while (true) {
+    size_t pos = text.find(sep, begin);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(begin));
+      return pieces;
+    }
+    pieces.emplace_back(text.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\n' || text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\n' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+StatusOr<double> ParseDouble(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.empty()) return Status::Invalid("empty number");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::Invalid("not a number: '" + buf + "'");
+  }
+  return value;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.empty()) return Status::Invalid("empty integer");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::Invalid("not an integer: '" + buf + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::string HumanBytes(size_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes < 1000) {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  } else if (b < 1000.0 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", b / 1024);
+  } else if (b < 1000.0 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", b / (1024.0 * 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", b / (1024.0 * 1024 * 1024));
+  }
+  return buf;
+}
+
+}  // namespace standoff

@@ -1,0 +1,29 @@
+// Small string helpers shared by the bench drivers and the query layer.
+#ifndef STANDOFF_COMMON_STRING_UTIL_H_
+#define STANDOFF_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace standoff {
+
+/// Splits on every occurrence of `sep`; empty pieces are preserved
+/// ("a,,b" -> {"a", "", "b"}), an empty input yields no pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strict full-string parses (surrounding whitespace allowed).
+StatusOr<double> ParseDouble(std::string_view text);
+StatusOr<int64_t> ParseInt64(std::string_view text);
+
+/// "982B", "12.3KB", "1.1MB", "2.4GB" — compact human-readable sizes.
+std::string HumanBytes(size_t bytes);
+
+std::string_view TrimWhitespace(std::string_view text);
+
+}  // namespace standoff
+
+#endif  // STANDOFF_COMMON_STRING_UTIL_H_

@@ -1,0 +1,26 @@
+// Wall-clock timer for benchmark drivers and engine timeouts.
+#ifndef STANDOFF_COMMON_TIMER_H_
+#define STANDOFF_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace standoff {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace standoff
+
+#endif  // STANDOFF_COMMON_TIMER_H_

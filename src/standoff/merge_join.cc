@@ -1,0 +1,498 @@
+#include "standoff/merge_join.h"
+
+#include <algorithm>
+#include <climits>
+#include <cstdio>
+
+namespace standoff {
+namespace so {
+
+const char* StandoffOpName(StandoffOp op) {
+  switch (op) {
+    case StandoffOp::kSelectNarrow: return "select-narrow";
+    case StandoffOp::kSelectWide: return "select-wide";
+    case StandoffOp::kRejectNarrow: return "reject-narrow";
+    case StandoffOp::kRejectWide: return "reject-wide";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNarrow(StandoffOp op) {
+  return op == StandoffOp::kSelectNarrow || op == StandoffOp::kRejectNarrow;
+}
+
+bool IsReject(StandoffOp op) {
+  return op == StandoffOp::kRejectNarrow || op == StandoffOp::kRejectWide;
+}
+
+/// One active region. `id` is the candidate node for candidate items and
+/// unused (0) for context items; `iter` is the loop iteration for context
+/// items and unused for candidates.
+struct ActiveItem {
+  int64_t end = 0;
+  int64_t start = 0;
+  uint32_t iter = 0;
+  storage::Pre id = 0;
+};
+
+std::string RegionLabel(int64_t start, int64_t end) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "[%lld,%lld]",
+                static_cast<long long>(start), static_cast<long long>(end));
+  return buf;
+}
+
+std::string CtxLabel(uint32_t iter, int64_t start, int64_t end) {
+  // Iterations print 1-based, as in the paper's Figure 4.
+  return "(iter" + std::to_string(iter + 1) + ", " +
+         RegionLabel(start, end) + ")";
+}
+
+/// Active set as a vector sorted ascending by region end, with a lazy
+/// head offset so retiring expired items is O(1) amortized. Insertion
+/// into the middle is O(active) — the cost the kEndHeap variant trades
+/// against.
+class SortedEndList {
+ public:
+  void Insert(const ActiveItem& item) {
+    auto it = std::upper_bound(
+        v_.begin() + static_cast<ptrdiff_t>(head_), v_.end(), item.end,
+        [](int64_t end, const ActiveItem& a) { return end < a.end; });
+    v_.insert(it, item);
+  }
+
+  template <typename Fn>
+  void RetireBelow(int64_t threshold, Fn&& fn) {
+    while (head_ < v_.size() && v_[head_].end < threshold) {
+      fn(v_[head_]);
+      ++head_;
+    }
+    if (head_ > 64 && head_ > v_.size() / 2) {
+      v_.erase(v_.begin(), v_.begin() + static_cast<ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  /// Visits items with end >= threshold: a binary search plus a scan of
+  /// only the qualifying suffix (output-bounded).
+  template <typename Fn>
+  void ForEachEndAtLeast(int64_t threshold, Fn&& fn) const {
+    auto it = std::lower_bound(
+        v_.begin() + static_cast<ptrdiff_t>(head_), v_.end(), threshold,
+        [](const ActiveItem& a, int64_t end) { return a.end < end; });
+    for (; it != v_.end(); ++it) fn(*it);
+  }
+
+  template <typename Fn>
+  void ForEachAll(Fn&& fn) const {
+    for (size_t i = head_; i < v_.size(); ++i) fn(v_[i]);
+  }
+
+  size_t size() const { return v_.size() - head_; }
+
+ private:
+  std::vector<ActiveItem> v_;
+  size_t head_ = 0;
+};
+
+/// Active set as a binary min-heap on region end: O(log active) insert,
+/// but every probe scans the whole heap.
+class EndHeap {
+ public:
+  void Insert(const ActiveItem& item) {
+    heap_.push_back(item);
+    std::push_heap(heap_.begin(), heap_.end(), ByEndGreater);
+  }
+
+  template <typename Fn>
+  void RetireBelow(int64_t threshold, Fn&& fn) {
+    while (!heap_.empty() && heap_.front().end < threshold) {
+      fn(heap_.front());
+      std::pop_heap(heap_.begin(), heap_.end(), ByEndGreater);
+      heap_.pop_back();
+    }
+  }
+
+  template <typename Fn>
+  void ForEachEndAtLeast(int64_t threshold, Fn&& fn) const {
+    for (const ActiveItem& item : heap_) {
+      if (item.end >= threshold) fn(item);
+    }
+  }
+
+  template <typename Fn>
+  void ForEachAll(Fn&& fn) const {
+    for (const ActiveItem& item : heap_) fn(item);
+  }
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  static bool ByEndGreater(const ActiveItem& a, const ActiveItem& b) {
+    return a.end > b.end;
+  }
+
+  std::vector<ActiveItem> heap_;
+};
+
+/// Shared per-pass scratch. All arrays are sized once up front; the merge
+/// loop itself performs no allocation beyond match emission.
+struct PassState {
+  std::vector<int64_t> iter_max_end;  // same-iteration containment pruning
+  std::vector<size_t> emit_stamp;     // per-iteration dedup, keyed by cand
+  size_t active_peak = 0;
+  size_t contexts_skipped = 0;
+  size_t matches_emitted = 0;
+
+  PassState(uint32_t iter_count, bool prune) {
+    if (prune) iter_max_end.assign(iter_count, INT64_MIN);
+    emit_stamp.assign(iter_count, SIZE_MAX);
+  }
+
+  /// True if a previously activated same-iteration context region
+  /// provably contains `c` (its recorded end reaches at least c.end and,
+  /// by start-ordered activation, its start is <= c.start).
+  bool ShouldPrune(const IterRegion& c) {
+    return !iter_max_end.empty() && iter_max_end[c.iter] >= c.end;
+  }
+
+  void NoteActivated(const IterRegion& c) {
+    if (!iter_max_end.empty()) iter_max_end[c.iter] = c.end;
+  }
+};
+
+/// Narrow merge pass: context regions and candidates both stream in
+/// ascending start order; a candidate matches iteration i when some
+/// active i-context's end reaches past the candidate's end.
+template <typename CtxSet>
+void SelectNarrowPass(const std::vector<IterRegion>& ctx,
+                      const std::vector<RegionEntry>& cand,
+                      PassState* state, TraceSink* trace,
+                      std::vector<IterMatch>* matches) {
+  CtxSet active;
+  size_t i = 0;
+  for (size_t j = 0; j < cand.size(); ++j) {
+    const RegionEntry& r = cand[j];
+    while (i < ctx.size() && ctx[i].start <= r.start) {
+      const IterRegion& c = ctx[i];
+      if (state->ShouldPrune(c)) {
+        ++state->contexts_skipped;
+        if (trace) {
+          trace->Event("read context " + CtxLabel(c.iter, c.start, c.end) +
+                       " -> pruned (contained in an active same-iteration "
+                       "region)");
+        }
+      } else {
+        active.Insert(ActiveItem{c.end, c.start, c.iter, 0});
+        state->NoteActivated(c);
+        state->active_peak = std::max(state->active_peak, active.size());
+        if (trace) {
+          trace->Event("read context " + CtxLabel(c.iter, c.start, c.end) +
+                       " -> activate");
+        }
+      }
+      ++i;
+    }
+    active.RetireBelow(r.start, [&](const ActiveItem& c) {
+      if (trace) {
+        trace->Event("retire " + CtxLabel(c.iter, c.start, c.end) +
+                     " (ends before candidate start " + std::to_string(r.start) +
+                     ")");
+      }
+    });
+    if (trace) {
+      trace->Event("read candidate " + RegionLabel(r.start, r.end) +
+                   " (node " + std::to_string(r.id) + ") -> probe " +
+                   std::to_string(active.size()) + " active");
+    }
+    active.ForEachEndAtLeast(r.end, [&](const ActiveItem& c) {
+      ++state->matches_emitted;
+      if (state->emit_stamp[c.iter] != j) {
+        state->emit_stamp[c.iter] = j;
+        matches->push_back(IterMatch{c.iter, r.id});
+        if (trace) {
+          trace->Event("match (iter" + std::to_string(c.iter + 1) +
+                       ", node " + std::to_string(r.id) + ")");
+        }
+      }
+    });
+  }
+}
+
+/// Wide (overlap) merge pass: a symmetric interval join. Both inputs
+/// stream by start; each keeps the other side's not-yet-expired regions
+/// active, and every overlapping (context, candidate) pair is emitted by
+/// whichever side arrives later.
+template <typename CtxSet, typename CandSet>
+void SelectWidePass(const std::vector<IterRegion>& ctx,
+                    const std::vector<RegionEntry>& cand,
+                    PassState* state, TraceSink* trace,
+                    std::vector<IterMatch>* matches) {
+  CtxSet active_ctx;
+  CandSet active_cand;
+  size_t i = 0, j = 0;
+  while (i < ctx.size() || j < cand.size()) {
+    const bool take_ctx =
+        j >= cand.size() ||
+        (i < ctx.size() && ctx[i].start <= cand[j].start);
+    if (take_ctx) {
+      const IterRegion& c = ctx[i];
+      active_cand.RetireBelow(c.start, [&](const ActiveItem& r) {
+        if (trace) {
+          trace->Event("retire candidate " + RegionLabel(r.start, r.end) +
+                       " (node " + std::to_string(r.id) + ")");
+        }
+      });
+      if (state->ShouldPrune(c)) {
+        ++state->contexts_skipped;
+        if (trace) {
+          trace->Event("read context " + CtxLabel(c.iter, c.start, c.end) +
+                       " -> pruned (contained in an active same-iteration "
+                       "region)");
+        }
+      } else {
+        active_cand.ForEachAll([&](const ActiveItem& r) {
+          ++state->matches_emitted;
+          matches->push_back(IterMatch{c.iter, r.id});
+        });
+        active_ctx.Insert(ActiveItem{c.end, c.start, c.iter, 0});
+        state->NoteActivated(c);
+        if (trace) {
+          trace->Event("read context " + CtxLabel(c.iter, c.start, c.end) +
+                       " -> activate");
+        }
+      }
+      state->active_peak = std::max(state->active_peak,
+                                    active_ctx.size() + active_cand.size());
+      ++i;
+    } else {
+      const RegionEntry& r = cand[j];
+      active_ctx.RetireBelow(r.start, [&](const ActiveItem& c) {
+        if (trace) {
+          trace->Event("retire " + CtxLabel(c.iter, c.start, c.end));
+        }
+      });
+      if (trace) {
+        trace->Event("read candidate " + RegionLabel(r.start, r.end) +
+                     " (node " + std::to_string(r.id) + ") -> probe " +
+                     std::to_string(active_ctx.size()) + " active");
+      }
+      active_ctx.ForEachAll([&](const ActiveItem& c) {
+        ++state->matches_emitted;
+        if (state->emit_stamp[c.iter] != j) {
+          state->emit_stamp[c.iter] = j;
+          matches->push_back(IterMatch{c.iter, r.id});
+          if (trace) {
+            trace->Event("match (iter" + std::to_string(c.iter + 1) +
+                         ", node " + std::to_string(r.id) + ")");
+          }
+        }
+      });
+      active_cand.Insert(ActiveItem{r.end, r.start, 0, r.id});
+      state->active_peak = std::max(state->active_peak,
+                                    active_ctx.size() + active_cand.size());
+      ++j;
+    }
+  }
+}
+
+/// Emits, for every loop iteration that has at least one context region,
+/// the candidate universe minus that iteration's select matches.
+/// `matches` must be sorted by (iter, pre) and duplicate-free; `universe`
+/// sorted ascending and duplicate-free.
+void ComplementPerIteration(const std::vector<IterRegion>& context,
+                            const std::vector<IterMatch>& matches,
+                            const std::vector<storage::Pre>& universe,
+                            uint32_t iter_count,
+                            std::vector<IterMatch>* out) {
+  std::vector<uint8_t> present(iter_count, 0);
+  for (const IterRegion& c : context) present[c.iter] = 1;
+  size_t m = 0;
+  for (uint32_t iter = 0; iter < iter_count; ++iter) {
+    while (m < matches.size() && matches[m].iter < iter) ++m;
+    if (!present[iter]) continue;
+    size_t k = m;
+    const size_t iter_end = [&] {
+      size_t e = m;
+      while (e < matches.size() && matches[e].iter == iter) ++e;
+      return e;
+    }();
+    for (storage::Pre id : universe) {
+      while (k < iter_end && matches[k].pre < id) ++k;
+      if (k < iter_end && matches[k].pre == id) continue;
+      out->push_back(IterMatch{iter, id});
+    }
+    m = iter_end;
+  }
+}
+
+}  // namespace
+
+void NaiveStandoffJoin(StandoffOp op,
+                       const std::vector<AreaAnnotation>& context,
+                       const std::vector<AreaAnnotation>& candidates,
+                       std::vector<storage::Pre>* out) {
+  out->clear();
+  const bool narrow = IsNarrow(op);
+  const bool reject = IsReject(op);
+  for (const AreaAnnotation& cand : candidates) {
+    bool matched = false;
+    for (const AreaAnnotation& c : context) {
+      for (const Region& a : c.regions) {
+        for (const Region& b : cand.regions) {
+          const bool hit = narrow
+                               ? (a.start <= b.start && b.end <= a.end)
+                               : (a.start <= b.end && b.start <= a.end);
+          if (hit) {
+            matched = true;
+            break;
+          }
+        }
+        if (matched) break;
+      }
+      if (matched) break;
+    }
+    if (matched != reject) out->push_back(cand.id);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+Status BasicStandoffJoin(StandoffOp op,
+                         const std::vector<AreaAnnotation>& context,
+                         const std::vector<RegionEntry>& candidates,
+                         const RegionIndex& index,
+                         const std::vector<storage::Pre>& candidate_ids,
+                         std::vector<storage::Pre>* out) {
+  std::vector<IterRegion> rows;
+  rows.reserve(context.size());
+  for (size_t i = 0; i < context.size(); ++i) {
+    for (const Region& r : context[i].regions) {
+      rows.push_back(
+          IterRegion{0, r.start, r.end, static_cast<uint32_t>(i)});
+    }
+  }
+  const std::vector<uint32_t> ann_iters(context.size(), 0);
+  std::vector<IterMatch> matches;
+  STANDOFF_RETURN_IF_ERROR(LoopLiftedStandoffJoin(
+      op, rows, ann_iters, candidates, index, candidate_ids,
+      /*iter_count=*/1, &matches));
+  out->clear();
+  out->reserve(matches.size());
+  for (const IterMatch& m : matches) out->push_back(m.pre);
+  return Status::OK();
+}
+
+Status LoopLiftedStandoffJoin(StandoffOp op,
+                              const std::vector<IterRegion>& context,
+                              const std::vector<uint32_t>& ann_iters,
+                              const std::vector<RegionEntry>& candidates,
+                              const RegionIndex& index,
+                              const std::vector<storage::Pre>& candidate_ids,
+                              uint32_t iter_count,
+                              std::vector<IterMatch>* out,
+                              JoinOptions options) {
+  out->clear();
+  for (const IterRegion& c : context) {
+    if (c.iter >= iter_count) {
+      return Status::Invalid("context row iteration " +
+                             std::to_string(c.iter) + " >= iter_count " +
+                             std::to_string(iter_count));
+    }
+    if (c.ann >= ann_iters.size() || ann_iters[c.ann] != c.iter) {
+      return Status::Invalid("ann_iters inconsistent with context rows");
+    }
+    if (c.end < c.start) {
+      return Status::Invalid("context region ends before it starts");
+    }
+  }
+  // The index's own entry array is sorted by construction; any other
+  // candidate sequence must come in start order for the merge to be valid.
+  if (&candidates != &index.entries() &&
+      !std::is_sorted(candidates.begin(), candidates.end(),
+                      [](const RegionEntry& a, const RegionEntry& b) {
+                        return a.start < b.start;
+                      })) {
+    return Status::Invalid("candidates must be sorted by region start");
+  }
+
+  std::vector<IterRegion> ctx(context);
+  std::sort(ctx.begin(), ctx.end(),
+            [](const IterRegion& a, const IterRegion& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+
+  PassState state(iter_count, options.prune_contained_contexts);
+  std::vector<IterMatch> matches;
+  // Heuristic: output is commonly candidate-bounded; pre-sizing keeps the
+  // merge loop free of reallocation in the typical case.
+  matches.reserve(candidates.size());
+  const bool narrow = IsNarrow(op);
+  if (options.active_list == ActiveListKind::kSortedList) {
+    if (narrow) {
+      SelectNarrowPass<SortedEndList>(ctx, candidates, &state, options.trace,
+                                      &matches);
+    } else {
+      SelectWidePass<SortedEndList, SortedEndList>(ctx, candidates, &state,
+                                                   options.trace, &matches);
+    }
+  } else {
+    if (narrow) {
+      SelectNarrowPass<EndHeap>(ctx, candidates, &state, options.trace,
+                                &matches);
+    } else {
+      SelectWidePass<EndHeap, EndHeap>(ctx, candidates, &state,
+                                       options.trace, &matches);
+    }
+  }
+  if (options.stats) {
+    options.stats->active_peak = state.active_peak;
+    options.stats->contexts_skipped = state.contexts_skipped;
+    options.stats->candidates_scanned = candidates.size();
+    options.stats->matches_emitted = state.matches_emitted;
+  }
+
+  // Canonicalize to (iter, pre) order, duplicate-free. Sorting packed
+  // 64-bit keys beats a two-field comparator on large outputs.
+  {
+    std::vector<uint64_t> keys(matches.size());
+    for (size_t i = 0; i < matches.size(); ++i) {
+      keys[i] = (static_cast<uint64_t>(matches[i].iter) << 32) |
+                matches[i].pre;
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    matches.resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      matches[i] = IterMatch{static_cast<uint32_t>(keys[i] >> 32),
+                             static_cast<storage::Pre>(keys[i])};
+    }
+  }
+
+  if (!IsReject(op)) {
+    *out = std::move(matches);
+    return Status::OK();
+  }
+
+  // Reject: complement against the candidate universe per iteration.
+  const std::vector<storage::Pre>* universe = &candidate_ids;
+  std::vector<storage::Pre> sorted_universe;
+  if (!std::is_sorted(candidate_ids.begin(), candidate_ids.end()) ||
+      std::adjacent_find(candidate_ids.begin(), candidate_ids.end()) !=
+          candidate_ids.end()) {
+    sorted_universe = candidate_ids;
+    std::sort(sorted_universe.begin(), sorted_universe.end());
+    sorted_universe.erase(
+        std::unique(sorted_universe.begin(), sorted_universe.end()),
+        sorted_universe.end());
+    universe = &sorted_universe;
+  }
+  ComplementPerIteration(ctx, matches, *universe, iter_count, out);
+  return Status::OK();
+}
+
+}  // namespace so
+}  // namespace standoff

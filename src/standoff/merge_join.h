@@ -1,0 +1,140 @@
+// The three StandOff join implementations the paper compares
+// (Sections 4.4–4.5):
+//
+//   NaiveStandoffJoin      — quadratic reference: every context region ×
+//                            every candidate annotation.
+//   BasicStandoffJoin      — one merge pass over sorted inputs per CALL;
+//                            a nested query invokes it once per loop
+//                            iteration, re-scanning the index each time.
+//   LoopLiftedStandoffJoin — one merge pass TOTAL: context regions carry
+//                            their loop iteration and the pass answers
+//                            every iteration at once (Figure 4).
+//
+// All four operators are supported: select-narrow (candidates contained
+// in a context region of the same iteration), select-wide (candidates
+// overlapping one), and their complements reject-narrow / reject-wide
+// over the candidate universe. Region boundaries are inclusive.
+//
+// The loop-lifted kernel keeps an *active list* of context regions whose
+// end has not yet passed the merge cursor. Two interchangeable structures
+// implement it (the paper's Section 5 remark): a list sorted by region
+// end (O(active) insert, output-bounded probes) and a min-heap on end
+// (O(log active) insert, O(active) probes). Same-iteration context
+// regions provably contained in an already-active one are pruned on
+// insert (Listing 1, lines 11–18).
+#ifndef STANDOFF_STANDOFF_MERGE_JOIN_H_
+#define STANDOFF_STANDOFF_MERGE_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "standoff/region_index.h"
+
+namespace standoff {
+namespace so {
+
+enum class StandoffOp {
+  kSelectNarrow,
+  kSelectWide,
+  kRejectNarrow,
+  kRejectWide,
+};
+
+const char* StandoffOpName(StandoffOp op);
+
+struct Region {
+  int64_t start = 0;
+  int64_t end = 0;
+};
+
+/// An annotation with one or more regions, as the naive/basic joins see
+/// them. An annotation matches narrow/wide when ANY of its regions does;
+/// duplicate result rows are collapsed.
+struct AreaAnnotation {
+  storage::Pre id = 0;
+  std::vector<Region> regions;
+};
+
+/// One loop-lifted context row: region `[start, end]` of context
+/// annotation `ann`, live in loop iteration `iter`.
+struct IterRegion {
+  uint32_t iter = 0;
+  int64_t start = 0;
+  int64_t end = 0;
+  uint32_t ann = 0;
+};
+
+/// One loop-lifted result row: candidate node `pre` matches in `iter`.
+struct IterMatch {
+  uint32_t iter = 0;
+  storage::Pre pre = 0;
+};
+
+inline bool operator==(const IterMatch& a, const IterMatch& b) {
+  return a.iter == b.iter && a.pre == b.pre;
+}
+
+/// Receives a human-readable event per kernel step (Figure 4 traces).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Event(const std::string& what) = 0;
+};
+
+enum class ActiveListKind {
+  kSortedList,  // sorted by region end; insert O(n), probe output-bounded
+  kEndHeap,     // min-heap on region end; insert O(log n), probe O(n)
+};
+
+struct JoinStats {
+  size_t active_peak = 0;        // max simultaneously active context rows
+  size_t contexts_skipped = 0;   // pruned as same-iteration contained
+  size_t candidates_scanned = 0;
+  size_t matches_emitted = 0;    // before per-iteration deduplication
+};
+
+struct JoinOptions {
+  ActiveListKind active_list = ActiveListKind::kSortedList;
+  bool prune_contained_contexts = true;
+  TraceSink* trace = nullptr;    // non-null: emit per-step events (slow)
+  JoinStats* stats = nullptr;
+};
+
+/// Quadratic reference implementation over annotation lists. Output is
+/// sorted by id and duplicate-free.
+void NaiveStandoffJoin(StandoffOp op,
+                       const std::vector<AreaAnnotation>& context,
+                       const std::vector<AreaAnnotation>& candidates,
+                       std::vector<storage::Pre>* out);
+
+/// Single-iteration merge join: one pass over `candidates` (sorted by
+/// start, as produced by RegionIndex) per call. `candidate_ids` is the
+/// sorted candidate universe the reject- operators complement against.
+/// Output is sorted by id and duplicate-free.
+Status BasicStandoffJoin(StandoffOp op,
+                         const std::vector<AreaAnnotation>& context,
+                         const std::vector<RegionEntry>& candidates,
+                         const RegionIndex& index,
+                         const std::vector<storage::Pre>& candidate_ids,
+                         std::vector<storage::Pre>* out);
+
+/// The loop-lifted kernel: answers all `iter_count` loop iterations in
+/// one merge pass over `candidates`. `ann_iters[ann]` must give the
+/// iteration of context annotation `ann` (consistency-checked against
+/// `context`). Output is sorted by (iter, pre) and duplicate-free.
+Status LoopLiftedStandoffJoin(StandoffOp op,
+                              const std::vector<IterRegion>& context,
+                              const std::vector<uint32_t>& ann_iters,
+                              const std::vector<RegionEntry>& candidates,
+                              const RegionIndex& index,
+                              const std::vector<storage::Pre>& candidate_ids,
+                              uint32_t iter_count,
+                              std::vector<IterMatch>* out,
+                              JoinOptions options = JoinOptions());
+
+}  // namespace so
+}  // namespace standoff
+
+#endif  // STANDOFF_STANDOFF_MERGE_JOIN_H_

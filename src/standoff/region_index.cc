@@ -1,0 +1,154 @@
+#include "standoff/region_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace standoff {
+namespace so {
+
+ResolvedConfig Resolve(const StandoffConfig& config,
+                       const storage::NameTable& names) {
+  ResolvedConfig resolved;
+  resolved.start_attr = names.Lookup(config.start_attr);
+  resolved.end_attr = names.Lookup(config.end_attr);
+  return resolved;
+}
+
+bool ParseRegionValue(std::string_view text, int64_t* out) {
+  text = TrimWhitespace(text);
+  if (text.empty()) return false;
+  if (text.find(':') != std::string_view::npos) {
+    // Timecode: colon-separated parts, most significant first. Parts
+    // accumulate as doubles so fractional components keep their scale;
+    // only the final total is rounded.
+    double total = 0;
+    size_t begin = 0;
+    while (begin <= text.size()) {
+      size_t colon = text.find(':', begin);
+      std::string_view part = colon == std::string_view::npos
+                                  ? text.substr(begin)
+                                  : text.substr(begin, colon - begin);
+      StatusOr<double> value = ParseDouble(part);
+      if (!value.ok()) return false;
+      total = total * 60 + *value;
+      if (colon == std::string_view::npos) break;
+      begin = colon + 1;
+    }
+    *out = static_cast<int64_t>(std::llround(total));
+    return true;
+  }
+  StatusOr<double> value = ParseDouble(text);
+  if (!value.ok()) return false;
+  *out = static_cast<int64_t>(std::llround(*value));
+  return true;
+}
+
+void RegionIndex::BuildIdIndex() {
+  std::vector<size_t> order(entries_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return entries_[a].id < entries_[b].id;
+  });
+  annotated_ids_.clear();
+  regions_by_id_.clear();
+  annotated_ids_.reserve(entries_.size());
+  regions_by_id_.reserve(entries_.size());
+  for (size_t i : order) {
+    const RegionEntry& e = entries_[i];
+    if (!annotated_ids_.empty() && annotated_ids_.back() == e.id) continue;
+    annotated_ids_.push_back(e.id);
+    regions_by_id_.emplace_back(e.start, e.end);
+  }
+}
+
+RegionIndex RegionIndex::FromEntries(std::vector<RegionEntry> entries) {
+  RegionIndex index;
+  index.entries_ = std::move(entries);
+  std::sort(index.entries_.begin(), index.entries_.end(),
+            [](const RegionEntry& a, const RegionEntry& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              return a.id < b.id;
+            });
+  index.BuildIdIndex();
+  return index;
+}
+
+StatusOr<RegionIndex> RegionIndex::Build(const storage::NodeTable& table,
+                                         const ResolvedConfig& config) {
+  std::vector<RegionEntry> entries;
+  if (config.start_attr != storage::kInvalidName &&
+      config.end_attr != storage::kInvalidName) {
+    const storage::Pre n = static_cast<storage::Pre>(table.size());
+    for (storage::Pre pre = 0; pre < n; ++pre) {
+      if (!table.IsElement(pre)) continue;
+      auto [has_start, start_text] =
+          table.FindAttribute(pre, config.start_attr);
+      if (!has_start) continue;
+      auto [has_end, end_text] = table.FindAttribute(pre, config.end_attr);
+      if (!has_end) continue;
+      int64_t start, end;
+      if (!ParseRegionValue(start_text, &start) ||
+          !ParseRegionValue(end_text, &end)) {
+        return Status::Invalid(
+            "unparsable region boundary on node " + std::to_string(pre) +
+            ": start='" + std::string(start_text) + "' end='" +
+            std::string(end_text) + "'");
+      }
+      if (end < start) {
+        return Status::Invalid("region ends before it starts on node " +
+                               std::to_string(pre));
+      }
+      entries.push_back(RegionEntry{start, end, pre});
+    }
+  }
+  return FromEntries(std::move(entries));
+}
+
+std::vector<RegionEntry> RegionIndex::Intersect(
+    const std::vector<storage::Pre>& ids) const {
+  std::vector<RegionEntry> out;
+  if (ids.empty() || entries_.empty()) return out;
+  // Output is at most min(|ids|, |entries|); reserving |ids| covers the
+  // common name-test case where every id is annotated.
+  out.reserve(std::min(ids.size(), entries_.size()));
+  for (const RegionEntry& e : entries_) {
+    if (std::binary_search(ids.begin(), ids.end(), e.id)) out.push_back(e);
+  }
+  return out;
+}
+
+bool RegionIndex::RegionOf(storage::Pre id, int64_t* start,
+                           int64_t* end) const {
+  auto it = std::lower_bound(annotated_ids_.begin(), annotated_ids_.end(), id);
+  if (it == annotated_ids_.end() || *it != id) return false;
+  const size_t i = static_cast<size_t>(it - annotated_ids_.begin());
+  *start = regions_by_id_[i].first;
+  *end = regions_by_id_[i].second;
+  return true;
+}
+
+StatusOr<const RegionIndex*> RegionIndexCache::Get(
+    const storage::DocumentStore& store, storage::DocId doc,
+    const StandoffConfig& config) {
+  if (doc >= store.document_count()) {
+    return Status::NotFound("no document " + std::to_string(doc));
+  }
+  const std::string fingerprint =
+      config.start_attr + "|" + config.end_attr + "|" + config.type;
+  auto key = std::make_pair(doc, fingerprint);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return const_cast<const RegionIndex*>(it->second.get());
+  StatusOr<RegionIndex> built =
+      RegionIndex::Build(store.table(doc), Resolve(config, store.names()));
+  if (!built.ok()) return built.status();
+  auto owned = std::make_unique<RegionIndex>(built.MoveValueUnsafe());
+  const RegionIndex* ptr = owned.get();
+  cache_.emplace(std::move(key), std::move(owned));
+  return ptr;
+}
+
+}  // namespace so
+}  // namespace standoff

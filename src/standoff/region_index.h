@@ -1,0 +1,117 @@
+// The region index: the sorted, contiguous array of {start, end, id}
+// annotation regions that every StandOff MergeJoin scans. Built once per
+// (document, standoff config) and cached; kept sorted by region start so
+// each join is a single forward pass.
+#ifndef STANDOFF_STANDOFF_REGION_INDEX_H_
+#define STANDOFF_STANDOFF_REGION_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/document_store.h"
+
+namespace standoff {
+namespace so {
+
+/// One annotated region. An element becomes an entry when it carries
+/// both standoff attributes (by default start="..." end="...").
+struct RegionEntry {
+  int64_t start = 0;
+  int64_t end = 0;
+  storage::Pre id = 0;
+};
+
+inline bool operator==(const RegionEntry& a, const RegionEntry& b) {
+  return a.start == b.start && a.end == b.end && a.id == b.id;
+}
+
+/// User-facing configuration: which attributes carry region boundaries
+/// and how their values are interpreted. `type` is advisory ("auto"
+/// accepts both plain numbers and h:mm:ss timecodes; "timecode" is what
+/// `declare option standoff-type "timecode"` selects — values still
+/// parse the same way, the option only documents intent and keys caches).
+struct StandoffConfig {
+  std::string start_attr = "start";
+  std::string end_attr = "end";
+  std::string type = "auto";
+};
+
+/// StandoffConfig with attribute names resolved against a NameTable.
+struct ResolvedConfig {
+  storage::NameId start_attr = storage::kInvalidName;
+  storage::NameId end_attr = storage::kInvalidName;
+};
+
+ResolvedConfig Resolve(const StandoffConfig& config,
+                       const storage::NameTable& names);
+
+/// Parses a region boundary value: a plain (possibly fractional) number,
+/// or a colon-separated timecode ("1:04" -> 64, "1:02:03" -> 3723).
+bool ParseRegionValue(std::string_view text, int64_t* out);
+
+class RegionIndex {
+ public:
+  RegionIndex() = default;
+  RegionIndex(RegionIndex&&) = default;
+  RegionIndex& operator=(RegionIndex&&) = default;
+
+  /// Sorts `entries` by (start, end, id) and takes ownership.
+  static RegionIndex FromEntries(std::vector<RegionEntry> entries);
+
+  /// Scans the node table once and indexes every element that carries
+  /// both configured region attributes.
+  static StatusOr<RegionIndex> Build(const storage::NodeTable& table,
+                                     const ResolvedConfig& config);
+
+  /// All entries, sorted by (start, end, id).
+  const std::vector<RegionEntry>& entries() const { return entries_; }
+
+  /// All annotated node ids, sorted ascending (document order). This is
+  /// the candidate universe the reject- operators complement against.
+  const std::vector<storage::Pre>& annotated_ids() const {
+    return annotated_ids_;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// Entries whose id occurs in `ids` (sorted ascending), in index
+  /// (start) order: the name-test pushdown intersection. One scan of the
+  /// index, O(log |ids|) per entry.
+  std::vector<RegionEntry> Intersect(const std::vector<storage::Pre>& ids)
+      const;
+
+  /// Region of an annotated node; false if the node has no region.
+  bool RegionOf(storage::Pre id, int64_t* start, int64_t* end) const;
+
+ private:
+  std::vector<RegionEntry> entries_;       // sorted by (start, end, id)
+  std::vector<storage::Pre> annotated_ids_;  // sorted by id
+  // Parallel to annotated_ids_: that id's (first) region, for RegionOf.
+  std::vector<std::pair<int64_t, int64_t>> regions_by_id_;
+
+  void BuildIdIndex();
+};
+
+/// Caches one RegionIndex per (document, config). Returned pointers stay
+/// valid for the life of the cache.
+class RegionIndexCache {
+ public:
+  StatusOr<const RegionIndex*> Get(const storage::DocumentStore& store,
+                                   storage::DocId doc,
+                                   const StandoffConfig& config);
+
+ private:
+  std::map<std::pair<storage::DocId, std::string>,
+           std::unique_ptr<RegionIndex>>
+      cache_;
+};
+
+}  // namespace so
+}  // namespace standoff
+
+#endif  // STANDOFF_STANDOFF_REGION_INDEX_H_

@@ -1,0 +1,46 @@
+// DocumentStore: owns shredded documents (columnar node tables), the
+// shared name table, per-document element-name indexes, and optional
+// out-of-line blobs (the flat text a StandOff document annotates).
+#ifndef STANDOFF_STORAGE_DOCUMENT_STORE_H_
+#define STANDOFF_STORAGE_DOCUMENT_STORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/node_table.h"
+
+namespace standoff {
+namespace storage {
+
+struct Document {
+  std::string name;
+  NodeTable table;
+  ElementIndex element_index;
+  std::string blob;  // StandOff base text; empty for nested documents
+};
+
+class DocumentStore {
+ public:
+  /// Parses and shreds `xml_text` in a single pass; returns the new
+  /// document's id. Whitespace-only text nodes are dropped.
+  StatusOr<DocId> AddDocumentText(std::string name, std::string_view xml_text);
+
+  Status SetBlob(DocId doc, std::string blob);
+
+  const Document& document(DocId doc) const { return *docs_[doc]; }
+  const NodeTable& table(DocId doc) const { return docs_[doc]->table; }
+  const NameTable& names() const { return names_; }
+  size_t document_count() const { return docs_.size(); }
+
+ private:
+  NameTable names_;
+  std::vector<std::unique_ptr<Document>> docs_;
+};
+
+}  // namespace storage
+}  // namespace standoff
+
+#endif  // STANDOFF_STORAGE_DOCUMENT_STORE_H_

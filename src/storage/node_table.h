@@ -1,0 +1,141 @@
+// Columnar pre-order node storage ("shredded" XML), in the style of
+// pre/size/level encodings: node pre numbers are assigned in document
+// order, a node's descendants occupy the pre range (pre, pre + size(pre)],
+// and attributes live out-of-line so they do not consume pre numbers.
+//
+// Pre 0 is always the document node; pre 1 the root element. Text nodes
+// occupy pre slots; whitespace-only text is dropped at shred time.
+#ifndef STANDOFF_STORAGE_NODE_TABLE_H_
+#define STANDOFF_STORAGE_NODE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace standoff {
+namespace storage {
+
+using Pre = uint32_t;
+using NameId = uint32_t;
+using DocId = uint32_t;
+
+inline constexpr NameId kInvalidName = 0xFFFFFFFFu;
+
+enum class NodeKind : uint8_t {
+  kDocument = 0,
+  kElement = 1,
+  kText = 2,
+};
+
+/// Interns element and attribute names to dense 32-bit ids, shared by all
+/// documents in a store so NameIds compare across documents.
+class NameTable {
+ public:
+  NameId Intern(std::string_view name);
+
+  /// Returns kInvalidName when the name was never interned.
+  NameId Lookup(std::string_view name) const;
+
+  std::string_view name(NameId id) const { return *names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  // unique_ptr keeps string_view keys stable across vector growth.
+  std::vector<std::unique_ptr<std::string>> names_;
+  std::unordered_map<std::string_view, NameId> ids_;
+};
+
+class NodeTable {
+ public:
+  size_t size() const { return kinds_.size(); }
+
+  NodeKind kind(Pre pre) const { return kinds_[pre]; }
+  NameId name(Pre pre) const { return names_[pre]; }
+  Pre parent(Pre pre) const { return parents_[pre]; }
+  uint32_t subtree_size(Pre pre) const { return sizes_[pre]; }
+  uint16_t level(Pre pre) const { return levels_[pre]; }
+
+  bool IsElement(Pre pre) const { return kinds_[pre] == NodeKind::kElement; }
+
+  /// Text content of a text node.
+  std::string_view text(Pre pre) const {
+    return std::string_view(text_buffer_).substr(text_offsets_[pre],
+                                                 text_lengths_[pre]);
+  }
+
+  /// Attribute lookup on an element; {false, ""} when absent.
+  std::pair<bool, std::string_view> FindAttribute(Pre pre,
+                                                  NameId attr_name) const {
+    const uint32_t begin = attr_begins_[pre];
+    const uint32_t end = attr_begins_[pre + 1];
+    for (uint32_t a = begin; a < end; ++a) {
+      if (attr_names_[a] == attr_name) {
+        return {true, std::string_view(attr_values_)
+                          .substr(attr_value_offsets_[a],
+                                  attr_value_lengths_[a])};
+      }
+    }
+    return {false, std::string_view()};
+  }
+
+  uint32_t attribute_count(Pre pre) const {
+    return attr_begins_[pre + 1] - attr_begins_[pre];
+  }
+  NameId attribute_name(Pre pre, uint32_t i) const {
+    return attr_names_[attr_begins_[pre] + i];
+  }
+  std::string_view attribute_value(Pre pre, uint32_t i) const {
+    const uint32_t a = attr_begins_[pre] + i;
+    return std::string_view(attr_values_)
+        .substr(attr_value_offsets_[a], attr_value_lengths_[a]);
+  }
+
+ private:
+  friend class Shredder;
+
+  std::vector<NodeKind> kinds_;
+  std::vector<NameId> names_;
+  std::vector<Pre> parents_;
+  std::vector<uint32_t> sizes_;
+  std::vector<uint16_t> levels_;
+
+  // Per-node [attr_begins_[pre], attr_begins_[pre+1]) spans into the
+  // attribute columns; attr_begins_ has size() + 1 entries.
+  std::vector<uint32_t> attr_begins_;
+  std::vector<NameId> attr_names_;
+  std::vector<uint32_t> attr_value_offsets_;
+  std::vector<uint32_t> attr_value_lengths_;
+  std::string attr_values_;
+
+  std::vector<uint32_t> text_offsets_;
+  std::vector<uint32_t> text_lengths_;
+  std::string text_buffer_;
+};
+
+/// Inverted element-name index: name -> sorted pre numbers. Powers the
+/// name-test pushdown in front of the StandOff joins and the fast
+/// descendant axis.
+class ElementIndex {
+ public:
+  void Build(const NodeTable& table, size_t name_count);
+
+  /// Sorted (document-order) pres of elements with this name; empty
+  /// vector for unknown ids.
+  const std::vector<Pre>& Lookup(NameId name) const {
+    if (name >= by_name_.size()) return empty_;
+    return by_name_[name];
+  }
+
+ private:
+  std::vector<std::vector<Pre>> by_name_;
+  std::vector<Pre> empty_;
+};
+
+}  // namespace storage
+}  // namespace standoff
+
+#endif  // STANDOFF_STORAGE_NODE_TABLE_H_

@@ -1,0 +1,319 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace standoff {
+namespace xmark {
+
+namespace {
+
+// Entity counts at scale 1.0, patterned after the original xmlgen.
+constexpr int64_t kItems = 21750;
+constexpr int64_t kPersons = 25500;
+constexpr int64_t kOpenAuctions = 12000;
+constexpr int64_t kClosedAuctions = 9750;
+constexpr int64_t kCategories = 1000;
+
+const char* const kWords[] = {
+    "gold", "silver", "vintage", "rare", "antique", "mint", "boxed",
+    "signed", "original", "painted", "carved", "woven", "amber", "ivory",
+    "oak", "maple", "brass", "copper", "velvet", "linen", "porcelain",
+    "crystal", "marble", "granite", "leather", "silk", "pearl", "jade",
+    "scarlet", "azure", "emerald", "crimson", "golden", "dusty", "polished",
+    "ancient", "modern", "ornate", "plain", "heavy", "light", "large",
+    "small", "round", "square", "curved", "straight", "tall", "short",
+    "bright", "umbra", "lantern", "anchor", "compass", "sextant", "ledger",
+    "quill", "parchment", "locket", "brooch", "bangle", "goblet", "chalice",
+    "tapestry", "codex", "folio", "atlas", "globe", "prism", "telescope",
+    "astrolabe", "hourglass", "sundial", "pendulum", "gear", "sprocket",
+    "valve", "piston", "dynamo", "turbine", "caliper", "anvil", "forge",
+    "loom", "spindle", "shuttle", "kiln", "crucible", "mortar", "pestle",
+    "flask", "beaker", "vial", "amphora", "urn", "vase", "ewer", "basin",
+    "salver", "tray", "casket", "chest", "trunk", "valise", "satchel",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* const kCountries[] = {"United States", "Germany", "Japan",
+                                  "Brazil", "Kenya", "Australia", "France",
+                                  "Canada", "India", "Norway"};
+const char* const kCities[] = {"Springfield", "Bremen", "Osaka", "Recife",
+                               "Nairobi", "Perth", "Lyon", "Halifax",
+                               "Pune", "Bergen"};
+const char* const kFirst[] = {"Ada", "Edsger", "Grace", "Alan", "Barbara",
+                              "Donald", "Hedy", "Niklaus", "Radia", "Ken"};
+const char* const kLast[] = {"Takahashi", "Okafor", "Silva", "Nguyen",
+                             "Larsen", "Meyer", "Dubois", "Rossi",
+                             "Novak", "Haruki"};
+const char* const kContinents[] = {"africa", "asia", "australia", "europe",
+                                   "namerica", "samerica"};
+constexpr size_t kContinentCount = 6;
+
+class Writer {
+ public:
+  explicit Writer(uint64_t seed, size_t reserve) : rng_(seed) {
+    out_.reserve(reserve);
+  }
+
+  void Raw(const char* s) { out_.append(s); }
+  void Raw(const std::string& s) { out_.append(s); }
+
+  void Words(int count) {
+    for (int i = 0; i < count; ++i) {
+      if (i) out_.push_back(' ');
+      out_.append(kWords[rng_.NextUint64() % kWordCount]);
+      if (i % 11 == 10) out_.push_back('.');
+    }
+  }
+
+  void Text(const char* tag, int word_count) {
+    out_.push_back('<');
+    out_.append(tag);
+    out_.push_back('>');
+    Words(word_count);
+    out_.append("</");
+    out_.append(tag);
+    out_.push_back('>');
+    out_.push_back('\n');
+  }
+
+  void Simple(const char* tag, const std::string& value) {
+    out_.push_back('<');
+    out_.append(tag);
+    out_.push_back('>');
+    out_.append(value);
+    out_.append("</");
+    out_.append(tag);
+    out_.push_back('>');
+    out_.push_back('\n');
+  }
+
+  std::string Date() {
+    return std::to_string(rng_.UniformRange(1, 12)) + "/" +
+           std::to_string(rng_.UniformRange(1, 28)) + "/" +
+           std::to_string(rng_.UniformRange(1998, 2006));
+  }
+
+  std::string Money() {
+    return std::to_string(rng_.UniformRange(1, 4999)) + "." +
+           std::to_string(rng_.UniformRange(0, 9)) +
+           std::to_string(rng_.UniformRange(0, 9));
+  }
+
+  Rng& rng() { return rng_; }
+  std::string& out() { return out_; }
+
+ private:
+  Rng rng_;
+  std::string out_;
+};
+
+int64_t Scaled(int64_t base, double scale) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(base * scale)));
+}
+
+void EmitDescription(Writer& w) {
+  w.Raw("<description><text>");
+  w.Words(185);
+  w.Raw("</text></description>\n");
+}
+
+void EmitItem(Writer& w, int64_t id, int64_t categories) {
+  Rng& rng = w.rng();
+  w.Raw("<item id=\"item" + std::to_string(id) + "\">\n");
+  w.Simple("location", kCountries[rng.NextUint64() % 10]);
+  w.Simple("quantity", std::to_string(rng.UniformRange(1, 10)));
+  w.Raw("<name>");
+  w.Words(3);
+  w.Raw("</name>\n");
+  w.Simple("payment", "Creditcard");
+  EmitDescription(w);
+  w.Raw("<shipping>Will ship internationally</shipping>\n");
+  w.Raw("<incategory category=\"category" +
+        std::to_string(rng.UniformRange(0, categories - 1)) + "\"/>\n");
+  w.Raw("<mailbox><mail>\n");
+  w.Simple("from", std::string(kFirst[rng.NextUint64() % 10]) + " " +
+                       kLast[rng.NextUint64() % 10]);
+  w.Simple("to", std::string(kFirst[rng.NextUint64() % 10]) + " " +
+                     kLast[rng.NextUint64() % 10]);
+  w.Simple("date", w.Date());
+  w.Raw("<text>");
+  w.Words(85);
+  w.Raw("</text>\n");
+  w.Raw("</mail></mailbox>\n");
+  w.Raw("</item>\n");
+}
+
+void EmitPerson(Writer& w, int64_t id, int64_t categories,
+                int64_t open_auctions) {
+  Rng& rng = w.rng();
+  const std::string name = std::string(kFirst[rng.NextUint64() % 10]) + " " +
+                           kLast[rng.NextUint64() % 10];
+  w.Raw("<person id=\"person" + std::to_string(id) + "\">\n");
+  w.Simple("name", name);
+  std::string handle = name;
+  std::replace(handle.begin(), handle.end(), ' ', '.');
+  w.Simple("emailaddress", "mailto:" + handle + "@example.net");
+  w.Simple("phone", "+" + std::to_string(rng.UniformRange(1, 99)) + " (" +
+                        std::to_string(rng.UniformRange(10, 999)) + ") " +
+                        std::to_string(rng.UniformRange(10000, 99999)));
+  w.Raw("<address>\n");
+  w.Simple("street", std::to_string(rng.UniformRange(1, 99)) + " " +
+                         std::string(kWords[rng.NextUint64() % kWordCount]) +
+                         " St");
+  w.Simple("city", kCities[rng.NextUint64() % 10]);
+  w.Simple("country", kCountries[rng.NextUint64() % 10]);
+  w.Simple("zipcode", std::to_string(rng.UniformRange(10000, 99999)));
+  w.Raw("</address>\n");
+  w.Raw("<profile income=\"" + w.Money() + "\">\n");
+  w.Raw("<interest category=\"category" +
+        std::to_string(rng.UniformRange(0, categories - 1)) + "\"/>\n");
+  w.Simple("education", "Graduate School");
+  w.Simple("business", rng.UniformRange(0, 1) ? "Yes" : "No");
+  w.Raw("</profile>\n");
+  if (open_auctions > 0 && rng.UniformRange(0, 2) == 0) {
+    w.Raw("<watches><watch open_auction=\"open_auction" +
+          std::to_string(rng.UniformRange(0, open_auctions - 1)) +
+          "\"/></watches>\n");
+  }
+  w.Raw("</person>\n");
+}
+
+void EmitOpenAuction(Writer& w, int64_t id, int64_t persons, int64_t items) {
+  Rng& rng = w.rng();
+  w.Raw("<open_auction id=\"open_auction" + std::to_string(id) + "\">\n");
+  w.Simple("initial", w.Money());
+  w.Simple("reserve", w.Money());
+  const int64_t bidders = rng.UniformRange(1, 10);
+  for (int64_t b = 0; b < bidders; ++b) {
+    w.Raw("<bidder>\n");
+    w.Simple("date", w.Date());
+    w.Simple("time", std::to_string(rng.UniformRange(0, 23)) + ":" +
+                         std::to_string(rng.UniformRange(10, 59)) + ":" +
+                         std::to_string(rng.UniformRange(10, 59)));
+    w.Raw("<personref person=\"person" +
+          std::to_string(rng.UniformRange(0, persons - 1)) + "\"/>\n");
+    w.Simple("increase", w.Money());
+    w.Raw("</bidder>\n");
+  }
+  w.Simple("current", w.Money());
+  w.Simple("privacy", "Yes");
+  w.Raw("<itemref item=\"item" +
+        std::to_string(rng.UniformRange(0, items - 1)) + "\"/>\n");
+  w.Raw("<seller person=\"person" +
+        std::to_string(rng.UniformRange(0, persons - 1)) + "\"/>\n");
+  w.Raw("<annotation>\n");
+  w.Raw("<author person=\"person" +
+        std::to_string(rng.UniformRange(0, persons - 1)) + "\"/>\n");
+  EmitDescription(w);
+  w.Raw("</annotation>\n");
+  w.Simple("quantity", "1");
+  w.Simple("type", "Regular");
+  w.Raw("<interval><start>" + w.Date() + "</start><end>" + w.Date() +
+        "</end></interval>\n");
+  w.Raw("</open_auction>\n");
+}
+
+void EmitClosedAuction(Writer& w, int64_t persons, int64_t items) {
+  Rng& rng = w.rng();
+  w.Raw("<closed_auction>\n");
+  w.Raw("<seller person=\"person" +
+        std::to_string(rng.UniformRange(0, persons - 1)) + "\"/>\n");
+  w.Raw("<buyer person=\"person" +
+        std::to_string(rng.UniformRange(0, persons - 1)) + "\"/>\n");
+  w.Raw("<itemref item=\"item" +
+        std::to_string(rng.UniformRange(0, items - 1)) + "\"/>\n");
+  w.Simple("price", w.Money());
+  w.Simple("date", w.Date());
+  w.Simple("quantity", "1");
+  w.Simple("type", "Regular");
+  w.Raw("<annotation>\n");
+  w.Raw("<author person=\"person" +
+        std::to_string(rng.UniformRange(0, persons - 1)) + "\"/>\n");
+  EmitDescription(w);
+  w.Raw("</annotation>\n");
+  w.Raw("</closed_auction>\n");
+}
+
+}  // namespace
+
+std::string GenerateXmark(const XmarkOptions& options) {
+  const double s = options.scale;
+  const int64_t items = Scaled(kItems, s);
+  const int64_t persons = Scaled(kPersons, s);
+  const int64_t open_auctions = Scaled(kOpenAuctions, s);
+  const int64_t closed_auctions = Scaled(kClosedAuctions, s);
+  const int64_t categories = Scaled(kCategories, s);
+
+  // ~1.5KB per entity on average; reserve a little above the target.
+  const size_t reserve =
+      static_cast<size_t>((items + persons + open_auctions +
+                           closed_auctions + categories) *
+                          1600) +
+      4096;
+  Writer w(options.seed, reserve);
+
+  w.Raw("<site>\n");
+  w.Raw("<regions>\n");
+  int64_t next_item = 0;
+  for (size_t c = 0; c < kContinentCount; ++c) {
+    w.Raw("<");
+    w.Raw(kContinents[c]);
+    w.Raw(">\n");
+    const int64_t until =
+        c + 1 == kContinentCount
+            ? items
+            : std::min<int64_t>(items, next_item + items / kContinentCount);
+    for (; next_item < until; ++next_item) {
+      EmitItem(w, next_item, categories);
+    }
+    w.Raw("</");
+    w.Raw(kContinents[c]);
+    w.Raw(">\n");
+  }
+  w.Raw("</regions>\n");
+
+  w.Raw("<categories>\n");
+  for (int64_t c = 0; c < categories; ++c) {
+    w.Raw("<category id=\"category" + std::to_string(c) + "\">\n");
+    w.Raw("<name>");
+    w.Words(2);
+    w.Raw("</name>\n");
+    EmitDescription(w);
+    w.Raw("</category>\n");
+  }
+  w.Raw("</categories>\n");
+
+  w.Raw("<catgraph>\n");
+  for (int64_t c = 0; c + 1 < categories; ++c) {
+    w.Raw("<edge from=\"category" + std::to_string(c) + "\" to=\"category" +
+          std::to_string(w.rng().UniformRange(0, categories - 1)) + "\"/>\n");
+  }
+  w.Raw("</catgraph>\n");
+
+  w.Raw("<people>\n");
+  for (int64_t p = 0; p < persons; ++p) {
+    EmitPerson(w, p, categories, open_auctions);
+  }
+  w.Raw("</people>\n");
+
+  w.Raw("<open_auctions>\n");
+  for (int64_t a = 0; a < open_auctions; ++a) {
+    EmitOpenAuction(w, a, persons, items);
+  }
+  w.Raw("</open_auctions>\n");
+
+  w.Raw("<closed_auctions>\n");
+  for (int64_t a = 0; a < closed_auctions; ++a) {
+    EmitClosedAuction(w, persons, items);
+  }
+  w.Raw("</closed_auctions>\n");
+
+  w.Raw("</site>\n");
+  return std::move(w.out());
+}
+
+}  // namespace xmark
+}  // namespace standoff

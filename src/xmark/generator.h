@@ -1,0 +1,24 @@
+// Deterministic XMark-style auction-site document generator. Scale 1.0
+// targets roughly the original benchmark's 110MB document; entity counts
+// and text volume scale linearly. The same options always produce the
+// same bytes, so benchmark workloads are reproducible.
+#ifndef STANDOFF_XMARK_GENERATOR_H_
+#define STANDOFF_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace standoff {
+namespace xmark {
+
+struct XmarkOptions {
+  double scale = 0.1;
+  uint64_t seed = 20060619;  // default fixed: workloads are reproducible
+};
+
+std::string GenerateXmark(const XmarkOptions& options);
+
+}  // namespace xmark
+}  // namespace standoff
+
+#endif  // STANDOFF_XMARK_GENERATOR_H_

@@ -1,0 +1,23 @@
+// The XMark query set of the paper's Figure 6 (Q1, Q2, Q6, Q7), each in
+// two forms: over the nested document (standard axes) and over its
+// StandOff transform (select- axes against the region index).
+#ifndef STANDOFF_XMARK_QUERIES_H_
+#define STANDOFF_XMARK_QUERIES_H_
+
+#include <vector>
+
+namespace standoff {
+namespace xmark {
+
+struct XmarkQuery {
+  const char* name;      // "Q1", "Q2", "Q6", "Q7"
+  const char* nested;    // runs against the nested document
+  const char* standoff;  // runs against the StandOff document
+};
+
+const std::vector<XmarkQuery>& BenchmarkQueries();
+
+}  // namespace xmark
+}  // namespace standoff
+
+#endif  // STANDOFF_XMARK_QUERIES_H_

@@ -1,0 +1,117 @@
+#include "xmark/standoff_transform.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "xml/tokenizer.h"
+
+namespace standoff {
+namespace xmark {
+
+namespace {
+
+void AppendEscaped(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '&': out->append("&amp;"); break;
+      case '<': out->append("&lt;"); break;
+      case '"': out->append("&quot;"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+struct Annotation {
+  std::string open;  // "<name" plus original attributes, escaped
+  size_t start = 0;
+  size_t end = 0;
+};
+
+}  // namespace
+
+StatusOr<StandoffDocument> ToStandoff(std::string_view nested_xml) {
+  xml::Tokenizer tokenizer(nested_xml);
+  StandoffDocument doc;
+  doc.blob.reserve(nested_xml.size() / 2);
+  std::vector<Annotation> annotations;
+  annotations.reserve(nested_xml.size() / 64 + 8);
+  std::vector<size_t> open;
+  std::string root_name;
+
+  while (true) {
+    StatusOr<xml::TokenType> token = tokenizer.Next();
+    if (!token.ok()) return token.status();
+    if (*token == xml::TokenType::kEnd) break;
+    switch (*token) {
+      case xml::TokenType::kStartElement: {
+        if (open.empty()) {
+          if (!annotations.empty()) {
+            return Status::Invalid("standoff transform: multiple roots");
+          }
+          root_name = tokenizer.name();
+        }
+        Annotation ann;
+        ann.open = "<" + tokenizer.name();
+        for (const xml::Attr& attr : tokenizer.attrs()) {
+          ann.open += " " + attr.name + "=\"";
+          AppendEscaped(attr.value, &ann.open);
+          ann.open += "\"";
+        }
+        ann.start = doc.blob.size();
+        doc.blob.push_back('\n');  // open marker: children start strictly later
+        annotations.push_back(std::move(ann));
+        const size_t index = annotations.size() - 1;
+        if (tokenizer.self_closing()) {
+          annotations[index].end = doc.blob.size();
+          doc.blob.push_back('\n');  // close marker
+        } else {
+          open.push_back(index);
+        }
+        break;
+      }
+      case xml::TokenType::kEndElement: {
+        if (open.empty()) {
+          return Status::Invalid("standoff transform: mismatched end tag");
+        }
+        annotations[open.back()].end = doc.blob.size();
+        doc.blob.push_back('\n');  // close marker: parents end strictly later
+        open.pop_back();
+        break;
+      }
+      case xml::TokenType::kText: {
+        if (TrimWhitespace(tokenizer.text()).empty()) break;
+        if (open.empty()) {
+          return Status::Invalid(
+              "standoff transform: character data outside the root");
+        }
+        doc.blob.append(tokenizer.text());
+        break;
+      }
+      case xml::TokenType::kEnd:
+        break;
+    }
+  }
+  if (!open.empty()) {
+    return Status::Invalid("standoff transform: unclosed element");
+  }
+  if (annotations.empty()) {
+    return Status::Invalid("standoff transform: no root element");
+  }
+
+  // Serialize: the root annotation keeps its element name and contains
+  // every other annotation, flattened in document order.
+  doc.xml.reserve(annotations.size() * 48 + 64);
+  const Annotation& root = annotations[0];
+  doc.xml += root.open + " start=\"" + std::to_string(root.start) +
+             "\" end=\"" + std::to_string(root.end) + "\">\n";
+  for (size_t i = 1; i < annotations.size(); ++i) {
+    const Annotation& ann = annotations[i];
+    doc.xml += ann.open + " start=\"" + std::to_string(ann.start) +
+               "\" end=\"" + std::to_string(ann.end) + "\"/>\n";
+  }
+  doc.xml += "</" + root_name + ">\n";
+  return doc;
+}
+
+}  // namespace xmark
+}  // namespace standoff

@@ -1,0 +1,34 @@
+// Nested XML -> StandOff transformation (the paper's Section 2 document
+// model): the character data moves into a flat base text ("blob") and
+// every element becomes a flat annotation carrying start/end byte offsets
+// into it. One marker byte is appended at every element open and close
+// (regions start before their open marker and end before their close
+// marker), which makes the region family laminar with strictly distinct,
+// non-touching boundaries: region containment over the standoff document
+// is exactly ancestorship in the nested original, so select-narrow
+// reproduces the descendant axis, and sibling regions never overlap.
+#ifndef STANDOFF_XMARK_STANDOFF_TRANSFORM_H_
+#define STANDOFF_XMARK_STANDOFF_TRANSFORM_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace standoff {
+namespace xmark {
+
+struct StandoffDocument {
+  std::string xml;   // flat: root element + one empty element per node
+  std::string blob;  // the base text all regions point into
+};
+
+/// Transforms a nested XML document into its StandOff form. The root
+/// element keeps its name and contains every other element flattened in
+/// document order; original attributes are preserved.
+StatusOr<StandoffDocument> ToStandoff(std::string_view nested_xml);
+
+}  // namespace xmark
+}  // namespace standoff
+
+#endif  // STANDOFF_XMARK_STANDOFF_TRANSFORM_H_

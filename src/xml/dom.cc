@@ -1,0 +1,89 @@
+#include "xml/dom.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace standoff {
+namespace xml {
+
+const Node* Node::FindChild(std::string_view child_name) const {
+  for (const Node& child : children) {
+    if (child.kind == Kind::kElement && child.name == child_name) {
+      return &child;
+    }
+  }
+  return nullptr;
+}
+
+std::string_view Node::FindAttr(std::string_view attr_name) const {
+  for (const Attr& attr : attrs) {
+    if (attr.name == attr_name) return attr.value;
+  }
+  return {};
+}
+
+StatusOr<Document> Parse(std::string_view input) {
+  Tokenizer tokenizer(input);
+  Document doc;
+  bool have_root = false;
+  // Stack of open elements; the root lives in doc.root directly.
+  std::vector<Node*> open;
+
+  while (true) {
+    StatusOr<TokenType> token = tokenizer.Next();
+    if (!token.ok()) return token.status();
+    switch (*token) {
+      case TokenType::kEnd:
+        if (!open.empty()) {
+          return Status::Invalid("xml parse error: unclosed element <" +
+                                 open.back()->name + ">");
+        }
+        if (!have_root) {
+          return Status::Invalid("xml parse error: no root element");
+        }
+        return doc;
+      case TokenType::kStartElement: {
+        Node* node;
+        if (open.empty()) {
+          if (have_root) {
+            return Status::Invalid(
+                "xml parse error: multiple root elements");
+          }
+          have_root = true;
+          node = &doc.root;
+        } else {
+          open.back()->children.emplace_back();
+          node = &open.back()->children.back();
+        }
+        node->kind = Node::Kind::kElement;
+        node->name = tokenizer.name();
+        node->attrs = tokenizer.attrs();
+        if (!tokenizer.self_closing()) open.push_back(node);
+        break;
+      }
+      case TokenType::kEndElement:
+        if (open.empty() || open.back()->name != tokenizer.name()) {
+          return Status::Invalid("xml parse error: mismatched </" +
+                                 tokenizer.name() + ">");
+        }
+        open.pop_back();
+        break;
+      case TokenType::kText: {
+        if (TrimWhitespace(tokenizer.text()).empty()) break;
+        if (open.empty()) {
+          return Status::Invalid(
+              "xml parse error: character data outside the root element");
+        }
+        Node text_node;
+        text_node.kind = Node::Kind::kText;
+        text_node.text = tokenizer.text();
+        open.back()->children.push_back(std::move(text_node));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace xml
+}  // namespace standoff

@@ -1,0 +1,42 @@
+// A small owning DOM used where random access to the nested structure is
+// convenient (the StandOff transform, tests). The query engine never
+// touches this: it runs on the columnar storage::NodeTable instead.
+//
+// Whitespace-only text nodes are dropped, matching the shredder, so the
+// DOM and the node table always describe the same logical document.
+#ifndef STANDOFF_XML_DOM_H_
+#define STANDOFF_XML_DOM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/tokenizer.h"
+
+namespace standoff {
+namespace xml {
+
+struct Node {
+  enum class Kind { kElement, kText };
+
+  Kind kind = Kind::kElement;
+  std::string name;                // element name (elements only)
+  std::string text;                // character data (text nodes only)
+  std::vector<Attr> attrs;         // elements only
+  std::vector<Node> children;      // elements only
+
+  const Node* FindChild(std::string_view child_name) const;
+  std::string_view FindAttr(std::string_view attr_name) const;  // "" if none
+};
+
+struct Document {
+  Node root;  // the single root element
+};
+
+StatusOr<Document> Parse(std::string_view input);
+
+}  // namespace xml
+}  // namespace standoff
+
+#endif  // STANDOFF_XML_DOM_H_

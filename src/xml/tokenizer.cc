@@ -1,0 +1,238 @@
+#include "xml/tokenizer.h"
+
+#include <cstdlib>
+
+namespace standoff {
+namespace xml {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Appends the UTF-8 encoding of `cp` to `out`.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+Status Tokenizer::Error(const std::string& what) const {
+  return Status::Invalid("xml parse error at byte " + std::to_string(pos_) +
+                         ": " + what);
+}
+
+Status Tokenizer::ReadName(std::string* out) {
+  if (pos_ >= input_.size() || !IsNameStart(input_[pos_])) {
+    return Error("expected name");
+  }
+  size_t begin = pos_;
+  while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+  out->assign(input_.data() + begin, pos_ - begin);
+  return Status::OK();
+}
+
+Status Tokenizer::AppendUnescaped(std::string_view raw, std::string* out) {
+  size_t i = 0;
+  while (i < raw.size()) {
+    size_t amp = raw.find('&', i);
+    if (amp == std::string_view::npos) {
+      out->append(raw.data() + i, raw.size() - i);
+      return Status::OK();
+    }
+    out->append(raw.data() + i, amp - i);
+    size_t semi = raw.find(';', amp + 1);
+    if (semi == std::string_view::npos) return Error("unterminated entity");
+    std::string_view entity = raw.substr(amp + 1, semi - amp - 1);
+    if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else if (!entity.empty() && entity[0] == '#') {
+      std::string digits(entity.substr(1));
+      const bool hex = !digits.empty() && (digits[0] == 'x' || digits[0] == 'X');
+      const char* num = digits.c_str() + (hex ? 1 : 0);
+      char* end = nullptr;
+      const unsigned long cp = std::strtoul(num, &end, hex ? 16 : 10);
+      if (end == num || *end != '\0' || cp == 0 || cp > 0x10FFFF) {
+        return Error("bad character reference &" + std::string(entity) + ";");
+      }
+      AppendUtf8(static_cast<uint32_t>(cp), out);
+    } else {
+      return Error("unknown entity &" + std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return Status::OK();
+}
+
+Status Tokenizer::SkipMisc() {
+  // Invoked at a '<' that starts "<?", "<!--", or "<!DOCTYPE".
+  if (input_.compare(pos_, 2, "<?") == 0) {
+    size_t end = input_.find("?>", pos_ + 2);
+    if (end == std::string_view::npos) return Error("unterminated <? ... ?>");
+    pos_ = end + 2;
+    return Status::OK();
+  }
+  if (input_.compare(pos_, 4, "<!--") == 0) {
+    size_t end = input_.find("-->", pos_ + 4);
+    if (end == std::string_view::npos) return Error("unterminated comment");
+    pos_ = end + 3;
+    return Status::OK();
+  }
+  // <!DOCTYPE ...> without internal subset.
+  size_t end = input_.find('>', pos_);
+  if (end == std::string_view::npos) return Error("unterminated <! ... >");
+  pos_ = end + 1;
+  return Status::OK();
+}
+
+Status Tokenizer::ReadStartTag() {
+  ++pos_;  // consume '<'
+  STANDOFF_RETURN_IF_ERROR(ReadName(&name_));
+  attrs_.clear();
+  self_closing_ = false;
+  while (true) {
+    while (pos_ < input_.size() && IsSpace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size()) return Error("unterminated start tag");
+    char c = input_[pos_];
+    if (c == '>') {
+      ++pos_;
+      return Status::OK();
+    }
+    if (c == '/') {
+      if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != '>') {
+        return Error("expected '/>'");
+      }
+      self_closing_ = true;
+      pos_ += 2;
+      return Status::OK();
+    }
+    attrs_.emplace_back();
+    Attr& attr = attrs_.back();
+    STANDOFF_RETURN_IF_ERROR(ReadName(&attr.name));
+    while (pos_ < input_.size() && IsSpace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size() || input_[pos_] != '=') {
+      return Error("expected '=' after attribute name");
+    }
+    ++pos_;
+    while (pos_ < input_.size() && IsSpace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size() ||
+        (input_[pos_] != '"' && input_[pos_] != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    const char quote = input_[pos_++];
+    size_t end = input_.find(quote, pos_);
+    if (end == std::string_view::npos) {
+      return Error("unterminated attribute value");
+    }
+    STANDOFF_RETURN_IF_ERROR(
+        AppendUnescaped(input_.substr(pos_, end - pos_), &attr.value));
+    pos_ = end + 1;
+  }
+}
+
+Status Tokenizer::ReadEndTag() {
+  pos_ += 2;  // consume '</'
+  STANDOFF_RETURN_IF_ERROR(ReadName(&name_));
+  while (pos_ < input_.size() && IsSpace(input_[pos_])) ++pos_;
+  if (pos_ >= input_.size() || input_[pos_] != '>') {
+    return Error("unterminated end tag");
+  }
+  ++pos_;
+  return Status::OK();
+}
+
+StatusOr<bool> Tokenizer::ReadText() {
+  text_.clear();
+  bool saw_any = false;
+  while (pos_ < input_.size()) {
+    if (input_[pos_] == '<') {
+      if (input_.compare(pos_, 9, "<![CDATA[") == 0) {
+        size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          return Error("unterminated CDATA section");
+        }
+        text_.append(input_.data() + pos_ + 9, end - pos_ - 9);
+        saw_any = true;
+        pos_ = end + 3;
+        continue;
+      }
+      if (input_.compare(pos_, 2, "<?") == 0 ||
+          input_.compare(pos_, 4, "<!--") == 0) {
+        STANDOFF_RETURN_IF_ERROR(SkipMisc());
+        continue;
+      }
+      break;  // element markup
+    }
+    size_t next = input_.find('<', pos_);
+    if (next == std::string_view::npos) next = input_.size();
+    STANDOFF_RETURN_IF_ERROR(
+        AppendUnescaped(input_.substr(pos_, next - pos_), &text_));
+    saw_any = true;
+    pos_ = next;
+  }
+  return saw_any;
+}
+
+StatusOr<TokenType> Tokenizer::Next() {
+  while (true) {
+    if (pos_ >= input_.size()) return TokenType::kEnd;
+    if (input_[pos_] != '<') {
+      StatusOr<bool> saw = ReadText();
+      if (!saw.ok()) return saw.status();
+      if (*saw && !text_.empty()) return TokenType::kText;
+      continue;
+    }
+    if (input_.compare(pos_, 2, "</") == 0) {
+      STANDOFF_RETURN_IF_ERROR(ReadEndTag());
+      return TokenType::kEndElement;
+    }
+    if (input_.compare(pos_, 9, "<![CDATA[") == 0) {
+      StatusOr<bool> saw = ReadText();
+      if (!saw.ok()) return saw.status();
+      if (*saw && !text_.empty()) return TokenType::kText;
+      continue;
+    }
+    if (input_.compare(pos_, 2, "<?") == 0 ||
+        input_.compare(pos_, 2, "<!") == 0) {
+      STANDOFF_RETURN_IF_ERROR(SkipMisc());
+      continue;
+    }
+    STANDOFF_RETURN_IF_ERROR(ReadStartTag());
+    return TokenType::kStartElement;
+  }
+}
+
+}  // namespace xml
+}  // namespace standoff

@@ -1,0 +1,66 @@
+// Single-pass pull tokenizer over a UTF-8 XML byte string. It is the one
+// scanner behind both xml::Parse (DOM) and the DocumentStore shredder, so
+// both see identical documents. Token buffers are reused across Next()
+// calls: no per-token heap traffic on the hot path.
+//
+// Supported: elements, attributes (single or double quoted), character
+// data, the five predefined entities plus numeric character references,
+// XML declarations, processing instructions, comments, CDATA sections,
+// and an (ignored) DOCTYPE without an internal subset.
+#ifndef STANDOFF_XML_TOKENIZER_H_
+#define STANDOFF_XML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace standoff {
+namespace xml {
+
+struct Attr {
+  std::string name;
+  std::string value;  // entity references resolved
+};
+
+enum class TokenType {
+  kStartElement,  // name() + attrs() + self_closing()
+  kEndElement,    // name()
+  kText,          // text(), entity references resolved
+  kEnd,           // end of input
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input) : input_(input) {}
+
+  StatusOr<TokenType> Next();
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attr>& attrs() const { return attrs_; }
+  bool self_closing() const { return self_closing_; }
+  const std::string& text() const { return text_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status SkipMisc();  // comments, PIs, XML decl, DOCTYPE
+  Status ReadStartTag();
+  Status ReadEndTag();
+  StatusOr<bool> ReadText();  // false if the text was all markup/empty
+  Status AppendUnescaped(std::string_view raw, std::string* out);
+  Status ReadName(std::string* out);
+  Status Error(const std::string& what) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::string name_;
+  std::string text_;
+  std::vector<Attr> attrs_;
+  bool self_closing_ = false;
+};
+
+}  // namespace xml
+}  // namespace standoff
+
+#endif  // STANDOFF_XML_TOKENIZER_H_

@@ -1,0 +1,105 @@
+// Value vocabulary of the query engine: items (stored nodes or atomics)
+// and the loop-lifted intermediate representation — sequences of
+// (iteration, item) rows, the paper's Section 4.1 loop-lifted tables.
+#ifndef STANDOFF_XQUERY_ALGEBRA_H_
+#define STANDOFF_XQUERY_ALGEBRA_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/node_table.h"
+
+namespace standoff {
+namespace algebra {
+
+struct NodeId {
+  storage::DocId doc = 0;
+  storage::Pre pre = 0;
+};
+
+inline bool operator==(const NodeId& a, const NodeId& b) {
+  return a.doc == b.doc && a.pre == b.pre;
+}
+inline bool operator<(const NodeId& a, const NodeId& b) {
+  return a.doc != b.doc ? a.doc < b.doc : a.pre < b.pre;
+}
+
+class Item {
+ public:
+  enum class Kind { kNode, kInt, kDouble, kString };
+
+  static Item Node(NodeId node) {
+    Item item(Kind::kNode);
+    item.node_ = node;
+    return item;
+  }
+  static Item Int(int64_t value) {
+    Item item(Kind::kInt);
+    item.int_ = value;
+    return item;
+  }
+  static Item Double(double value) {
+    Item item(Kind::kDouble);
+    item.double_ = value;
+    return item;
+  }
+  static Item String(std::string value) {
+    Item item(Kind::kString);
+    item.string_ = std::move(value);
+    return item;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_node() const { return kind_ == Kind::kNode; }
+
+  NodeId stored_node() const {
+    assert(kind_ == Kind::kNode);
+    return node_;
+  }
+  int64_t int_value() const {
+    assert(kind_ == Kind::kInt);
+    return int_;
+  }
+  double double_value() const {
+    assert(kind_ == Kind::kDouble);
+    return double_;
+  }
+  const std::string& string_value() const {
+    assert(kind_ == Kind::kString);
+    return string_;
+  }
+
+ private:
+  explicit Item(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  NodeId node_{};
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+};
+
+struct QueryResult {
+  std::vector<Item> items;
+};
+
+/// One loop-lifted row: `item` is live in loop iteration `iter`.
+struct Row {
+  uint32_t iter = 0;
+  Item item;
+};
+
+/// A loop-lifted sequence: rows sorted by iteration, over an iteration
+/// space of `iter_count` iterations (iterations may be empty).
+struct Lifted {
+  std::vector<Row> rows;
+  uint32_t iter_count = 1;
+};
+
+}  // namespace algebra
+}  // namespace standoff
+
+#endif  // STANDOFF_XQUERY_ALGEBRA_H_

@@ -1,0 +1,86 @@
+// Abstract syntax for the supported XQuery subset: paths with child /
+// descendant / StandOff axes and predicates, FLWOR (for ... return),
+// count(), string/number literals, '+', and prolog options.
+#ifndef STANDOFF_XQUERY_AST_H_
+#define STANDOFF_XQUERY_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace standoff {
+namespace xquery {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kSelectNarrow,
+  kSelectWide,
+  kRejectNarrow,
+  kRejectWide,
+};
+
+bool IsStandoffAxis(Axis axis);
+
+struct Step {
+  Axis axis = Axis::kChild;
+  bool any_name = false;   // "*" or node()
+  std::string name;        // name test, when !any_name
+  std::vector<ExprPtr> predicates;
+};
+
+struct Expr {
+  enum class Kind {
+    kPath,       // [absolute] steps, optionally rooted at a variable
+    kFor,        // for $var in <in> return <ret>
+    kCount,      // count(<arg>)
+    kAdd,        // <lhs> + <rhs>
+    kStringLit,
+    kNumberLit,
+    kAttrEquals,  // predicate: @name = "literal"
+    kAttrExists,  // predicate: @name
+  };
+
+  Kind kind;
+
+  // kPath
+  bool absolute = false;
+  std::string start_var;  // non-empty: relative to $start_var
+  std::vector<Step> steps;
+
+  // kFor
+  std::string var;
+  ExprPtr in_expr;
+  ExprPtr ret_expr;
+
+  // kCount / kAdd
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // literals / attribute tests
+  std::string string_value;
+  double number_value = 0;
+  std::string attr_name;
+
+  explicit Expr(Kind k) : kind(k) {}
+};
+
+struct Prolog {
+  std::string standoff_type;  // declare option standoff-type "..."
+};
+
+struct Query {
+  Prolog prolog;
+  ExprPtr body;
+};
+
+}  // namespace xquery
+}  // namespace standoff
+
+#endif  // STANDOFF_XQUERY_AST_H_

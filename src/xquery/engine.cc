@@ -1,0 +1,580 @@
+#include "xquery/engine.h"
+
+#include <algorithm>
+
+#include "xquery/parser.h"
+
+namespace standoff {
+namespace xquery {
+
+using algebra::Item;
+using algebra::Lifted;
+using algebra::NodeId;
+using algebra::Row;
+
+const char* StandoffModeName(StandoffMode mode) {
+  switch (mode) {
+    case StandoffMode::kUdfNoCandidates: return "udf-no-candidates";
+    case StandoffMode::kUdfCandidates: return "udf-candidates";
+    case StandoffMode::kBasicMergeJoin: return "basic-mergejoin";
+    case StandoffMode::kLoopLifted: return "loop-lifted-mergejoin";
+  }
+  return "?";
+}
+
+struct Engine::Env {
+  std::map<std::string, Lifted> vars;
+};
+
+namespace {
+
+bool RowNodeLess(const Row& a, const Row& b) {
+  if (a.iter != b.iter) return a.iter < b.iter;
+  const NodeId na = a.item.stored_node();
+  const NodeId nb = b.item.stored_node();
+  return na < nb;
+}
+
+bool RowNodeEqual(const Row& a, const Row& b) {
+  return a.iter == b.iter && a.item.stored_node() == b.item.stored_node();
+}
+
+void SortUniqueNodeRows(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), RowNodeLess);
+  rows->erase(std::unique(rows->begin(), rows->end(), RowNodeEqual),
+              rows->end());
+}
+
+so::StandoffOp AxisToOp(Axis axis) {
+  switch (axis) {
+    case Axis::kSelectNarrow: return so::StandoffOp::kSelectNarrow;
+    case Axis::kSelectWide: return so::StandoffOp::kSelectWide;
+    case Axis::kRejectNarrow: return so::StandoffOp::kRejectNarrow;
+    default: return so::StandoffOp::kRejectWide;
+  }
+}
+
+/// Row ranges per iteration: offsets[iter] .. offsets[iter+1].
+std::vector<size_t> IterOffsets(const std::vector<Row>& rows,
+                                uint32_t iter_count) {
+  std::vector<size_t> offsets(iter_count + 1, 0);
+  for (const Row& row : rows) ++offsets[row.iter + 1];
+  for (uint32_t i = 0; i < iter_count; ++i) offsets[i + 1] += offsets[i];
+  return offsets;
+}
+
+}  // namespace
+
+Status Engine::CheckDeadline() const {
+  if (deadline_seconds_ > 0 &&
+      deadline_timer_.ElapsedSeconds() > deadline_seconds_) {
+    return Status::TimedOut("query exceeded " +
+                            std::to_string(deadline_seconds_) + "s budget");
+  }
+  return Status::OK();
+}
+
+StatusOr<algebra::QueryResult> Engine::Evaluate(
+    const std::string& query_text) {
+  StatusOr<Query> query = ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  if (store_->document_count() == 0) {
+    return Status::FailedPrecondition("document store is empty");
+  }
+  standoff_config_.type = query->prolog.standoff_type.empty()
+                              ? "auto"
+                              : query->prolog.standoff_type;
+  deadline_timer_.Reset();
+  deadline_seconds_ = options_.timeout_seconds;
+
+  Env env;
+  Lifted result;
+  STANDOFF_RETURN_IF_ERROR(
+      EvalExpr(*query->body, env, /*iter_count=*/1, &result));
+  algebra::QueryResult out;
+  out.items.reserve(result.rows.size());
+  for (Row& row : result.rows) out.items.push_back(std::move(row.item));
+  return out;
+}
+
+Status Engine::EvalExpr(const Expr& expr, const Env& env, uint32_t iter_count,
+                        Lifted* out) {
+  STANDOFF_RETURN_IF_ERROR(CheckDeadline());
+  switch (expr.kind) {
+    case Expr::Kind::kPath:
+      return EvalPath(expr, env, iter_count, out);
+    case Expr::Kind::kFor:
+      return EvalFor(expr, env, iter_count, out);
+    case Expr::Kind::kCount:
+      return EvalCount(expr, env, iter_count, out);
+    case Expr::Kind::kAdd:
+      return EvalAdd(expr, env, iter_count, out);
+    case Expr::Kind::kStringLit: {
+      out->iter_count = iter_count;
+      out->rows.clear();
+      for (uint32_t i = 0; i < iter_count; ++i) {
+        out->rows.push_back(Row{i, Item::String(expr.string_value)});
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kNumberLit: {
+      out->iter_count = iter_count;
+      out->rows.clear();
+      for (uint32_t i = 0; i < iter_count; ++i) {
+        out->rows.push_back(Row{i, Item::Double(expr.number_value)});
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kAttrEquals:
+    case Expr::Kind::kAttrExists:
+      return Status::Internal("attribute test outside a predicate");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Status Engine::EvalPath(const Expr& expr, const Env& env, uint32_t iter_count,
+                        Lifted* out) {
+  out->iter_count = iter_count;
+  out->rows.clear();
+  if (!expr.start_var.empty()) {
+    auto it = env.vars.find(expr.start_var);
+    if (it == env.vars.end()) {
+      return Status::Invalid("unbound variable $" + expr.start_var);
+    }
+    *out = it->second;
+  } else {
+    if (!expr.absolute) {
+      return Status::Unimplemented(
+          "relative paths must start at a variable ($var/...)");
+    }
+    // Absolute path: the default document's document node, live in every
+    // iteration of the current space.
+    out->rows.reserve(iter_count);
+    for (uint32_t i = 0; i < iter_count; ++i) {
+      out->rows.push_back(Row{i, Item::Node(NodeId{0, 0})});
+    }
+  }
+  for (const Step& step : expr.steps) {
+    STANDOFF_RETURN_IF_ERROR(ApplyStep(step, out));
+  }
+  return Status::OK();
+}
+
+Status Engine::ApplyStep(const Step& step, Lifted* rows) {
+  STANDOFF_RETURN_IF_ERROR(CheckDeadline());
+  for (const Row& row : rows->rows) {
+    if (!row.item.is_node()) {
+      return Status::Invalid("path step applied to a non-node item");
+    }
+  }
+  if (IsStandoffAxis(step.axis)) {
+    STANDOFF_RETURN_IF_ERROR(ApplyStandoffStep(step, rows));
+  } else {
+    STANDOFF_RETURN_IF_ERROR(ApplyNavigationStep(step, rows));
+  }
+  for (const ExprPtr& pred : step.predicates) {
+    STANDOFF_RETURN_IF_ERROR(ApplyPredicate(*pred, rows));
+  }
+  return Status::OK();
+}
+
+bool Engine::NameMatches(const Step& step, storage::DocId doc,
+                         storage::Pre pre) const {
+  const storage::NodeTable& table = store_->table(doc);
+  if (!table.IsElement(pre)) return false;
+  if (step.any_name) return true;
+  const storage::NameId name = store_->names().Lookup(step.name);
+  return name != storage::kInvalidName && table.name(pre) == name;
+}
+
+Status Engine::ApplyNavigationStep(const Step& step, Lifted* rows) {
+  const storage::NameId name =
+      step.any_name ? storage::kInvalidName : store_->names().Lookup(step.name);
+  if (!step.any_name && name == storage::kInvalidName) {
+    rows->rows.clear();  // name never occurs in any document
+    return Status::OK();
+  }
+  std::vector<Row> result;
+  size_t processed = 0;
+  for (const Row& row : rows->rows) {
+    if ((++processed & 1023u) == 0) {
+      STANDOFF_RETURN_IF_ERROR(CheckDeadline());
+    }
+    const NodeId node = row.item.stored_node();
+    const storage::NodeTable& table = store_->table(node.doc);
+    switch (step.axis) {
+      case Axis::kSelf: {
+        const bool keep = step.any_name ? table.IsElement(node.pre)
+                                        : (table.IsElement(node.pre) &&
+                                           table.name(node.pre) == name);
+        if (keep) result.push_back(row);
+        break;
+      }
+      case Axis::kChild: {
+        const storage::Pre end =
+            node.pre + table.subtree_size(node.pre) + 1;
+        for (storage::Pre child = node.pre + 1; child < end;
+             child += table.subtree_size(child) + 1) {
+          if (table.IsElement(child) &&
+              (step.any_name || table.name(child) == name)) {
+            result.push_back(Row{row.iter, Item::Node(NodeId{node.doc, child})});
+          }
+        }
+        break;
+      }
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        const storage::Pre lo =
+            step.axis == Axis::kDescendant ? node.pre + 1 : node.pre;
+        const storage::Pre hi = node.pre + table.subtree_size(node.pre);
+        if (step.any_name) {
+          for (storage::Pre pre = lo; pre <= hi; ++pre) {
+            if (table.IsElement(pre)) {
+              result.push_back(Row{row.iter, Item::Node(NodeId{node.doc, pre})});
+            }
+          }
+        } else {
+          // Name-index range scan: the loop-lifted descendant step the
+          // staircase comparison runs against.
+          const std::vector<storage::Pre>& pres =
+              store_->document(node.doc).element_index.Lookup(name);
+          auto it = std::lower_bound(pres.begin(), pres.end(), lo);
+          for (; it != pres.end() && *it <= hi; ++it) {
+            result.push_back(Row{row.iter, Item::Node(NodeId{node.doc, *it})});
+          }
+        }
+        break;
+      }
+      default:
+        return Status::Internal("standoff axis in navigation step");
+    }
+  }
+  SortUniqueNodeRows(&result);
+  rows->rows = std::move(result);
+  return Status::OK();
+}
+
+Status Engine::ApplyPredicate(const Expr& pred, Lifted* rows) {
+  if (pred.kind != Expr::Kind::kAttrEquals &&
+      pred.kind != Expr::Kind::kAttrExists) {
+    return Status::Unimplemented("unsupported predicate form");
+  }
+  const storage::NameId attr = store_->names().Lookup(pred.attr_name);
+  std::vector<Row> kept;
+  for (const Row& row : rows->rows) {
+    if (!row.item.is_node()) {
+      return Status::Invalid("attribute predicate on a non-node item");
+    }
+    if (attr == storage::kInvalidName) continue;
+    const NodeId node = row.item.stored_node();
+    auto [found, value] = store_->table(node.doc).FindAttribute(node.pre, attr);
+    if (!found) continue;
+    if (pred.kind == Expr::Kind::kAttrEquals && value != pred.string_value) {
+      continue;
+    }
+    kept.push_back(row);
+  }
+  rows->rows = std::move(kept);
+  return Status::OK();
+}
+
+StatusOr<const so::RegionIndex*> Engine::GetIndex(storage::DocId doc) {
+  return index_cache_.Get(*store_, doc, standoff_config_);
+}
+
+StatusOr<const Engine::CandidateSet*> Engine::GetCandidates(
+    storage::DocId doc, const Step& step) {
+  const std::string key_name = step.name + "|" + standoff_config_.type;
+  const auto key = std::make_pair(doc, key_name);
+  auto it = candidate_cache_.find(key);
+  if (it != candidate_cache_.end()) return &it->second;
+  StatusOr<const so::RegionIndex*> index = GetIndex(doc);
+  if (!index.ok()) return index.status();
+  const std::vector<storage::Pre>& name_pres =
+      store_->document(doc).element_index.Lookup(
+          store_->names().Lookup(step.name));
+  CandidateSet set;
+  set.ids.reserve(name_pres.size());
+  std::set_intersection((*index)->annotated_ids().begin(),
+                        (*index)->annotated_ids().end(), name_pres.begin(),
+                        name_pres.end(), std::back_inserter(set.ids));
+  set.entries = (*index)->Intersect(set.ids);
+  auto inserted = candidate_cache_.emplace(key, std::move(set));
+  return &inserted.first->second;
+}
+
+Status Engine::ApplyStandoffStep(const Step& step, Lifted* rows) {
+  const so::StandoffOp op = AxisToOp(step.axis);
+  // Partition context rows by document (stable: preserves iter order).
+  std::vector<Row> result;
+  std::vector<storage::DocId> docs;
+  for (const Row& row : rows->rows) {
+    const storage::DocId doc = row.item.stored_node().doc;
+    if (std::find(docs.begin(), docs.end(), doc) == docs.end()) {
+      docs.push_back(doc);
+    }
+  }
+  for (storage::DocId doc : docs) {
+    StatusOr<const so::RegionIndex*> index = GetIndex(doc);
+    if (!index.ok()) return index.status();
+    std::vector<so::IterRegion> context;
+    context.reserve(rows->rows.size());
+    for (const Row& row : rows->rows) {
+      const NodeId node = row.item.stored_node();
+      if (node.doc != doc) continue;
+      int64_t start, end;
+      if (!(*index)->RegionOf(node.pre, &start, &end)) continue;
+      context.push_back(so::IterRegion{
+          row.iter, start, end, static_cast<uint32_t>(context.size())});
+    }
+    std::vector<so::IterMatch> matches;
+    switch (mode_) {
+      case StandoffMode::kLoopLifted:
+        STANDOFF_RETURN_IF_ERROR(StandoffLoopLifted(
+            op, doc, context, rows->iter_count, step, &matches));
+        break;
+      case StandoffMode::kBasicMergeJoin:
+        STANDOFF_RETURN_IF_ERROR(
+            StandoffBasicPerIteration(op, doc, context, step, &matches));
+        break;
+      case StandoffMode::kUdfNoCandidates:
+        STANDOFF_RETURN_IF_ERROR(StandoffUdfPerIteration(
+            op, doc, context, step, /*with_candidates=*/false, &matches));
+        break;
+      case StandoffMode::kUdfCandidates:
+        STANDOFF_RETURN_IF_ERROR(StandoffUdfPerIteration(
+            op, doc, context, step, /*with_candidates=*/true, &matches));
+        break;
+    }
+    for (const so::IterMatch& m : matches) {
+      result.push_back(Row{m.iter, Item::Node(NodeId{doc, m.pre})});
+    }
+  }
+  if (docs.size() > 1) SortUniqueNodeRows(&result);
+  rows->rows = std::move(result);
+  return Status::OK();
+}
+
+Status Engine::StandoffLoopLifted(so::StandoffOp op, storage::DocId doc,
+                                  const std::vector<so::IterRegion>& context,
+                                  uint32_t iter_count, const Step& step,
+                                  std::vector<so::IterMatch>* matches) {
+  StatusOr<const so::RegionIndex*> index = GetIndex(doc);
+  if (!index.ok()) return index.status();
+  std::vector<uint32_t> ann_iters(context.size());
+  for (const so::IterRegion& c : context) ann_iters[c.ann] = c.iter;
+  if (step.any_name) {
+    return so::LoopLiftedStandoffJoin(
+        op, context, ann_iters, (*index)->entries(), **index,
+        (*index)->annotated_ids(), iter_count, matches, options_.join);
+  }
+  StatusOr<const CandidateSet*> candidates = GetCandidates(doc, step);
+  if (!candidates.ok()) return candidates.status();
+  return so::LoopLiftedStandoffJoin(op, context, ann_iters,
+                                    (*candidates)->entries, **index,
+                                    (*candidates)->ids, iter_count, matches,
+                                    options_.join);
+}
+
+Status Engine::StandoffBasicPerIteration(
+    so::StandoffOp op, storage::DocId doc,
+    const std::vector<so::IterRegion>& context, const Step& step,
+    std::vector<so::IterMatch>* matches) {
+  StatusOr<const so::RegionIndex*> index = GetIndex(doc);
+  if (!index.ok()) return index.status();
+  // One BasicStandoffJoin call per loop iteration, each re-scanning the
+  // full region index; the name test filters afterwards (no pushdown).
+  size_t begin = 0;
+  while (begin < context.size()) {
+    STANDOFF_RETURN_IF_ERROR(CheckDeadline());
+    const uint32_t iter = context[begin].iter;
+    size_t end = begin;
+    std::vector<so::AreaAnnotation> iter_context;
+    while (end < context.size() && context[end].iter == iter) {
+      iter_context.push_back(so::AreaAnnotation{
+          0, {so::Region{context[end].start, context[end].end}}});
+      ++end;
+    }
+    std::vector<storage::Pre> pres;
+    STANDOFF_RETURN_IF_ERROR(
+        BasicStandoffJoin(op, iter_context, (*index)->entries(), **index,
+                          (*index)->annotated_ids(), &pres));
+    for (storage::Pre pre : pres) {
+      if (NameMatches(step, doc, pre)) {
+        matches->push_back(so::IterMatch{iter, pre});
+      }
+    }
+    begin = end;
+  }
+  return Status::OK();
+}
+
+Status Engine::StandoffUdfPerIteration(
+    so::StandoffOp op, storage::DocId doc,
+    const std::vector<so::IterRegion>& context, const Step& step,
+    bool with_candidates, std::vector<so::IterMatch>* matches) {
+  const storage::NodeTable& table = store_->table(doc);
+  const so::ResolvedConfig config =
+      so::Resolve(standoff_config_, store_->names());
+  const storage::NameId name = store_->names().Lookup(step.name);
+  const std::vector<storage::Pre>* candidate_pres = nullptr;
+  std::vector<storage::Pre> all_elements;
+  if (with_candidates && !step.any_name) {
+    candidate_pres = &store_->document(doc).element_index.Lookup(name);
+  } else {
+    all_elements.reserve(table.size());
+    for (storage::Pre pre = 0; pre < table.size(); ++pre) {
+      if (table.IsElement(pre)) all_elements.push_back(pre);
+    }
+    candidate_pres = &all_elements;
+  }
+
+  size_t begin = 0;
+  while (begin < context.size()) {
+    STANDOFF_RETURN_IF_ERROR(CheckDeadline());
+    const uint32_t iter = context[begin].iter;
+    size_t end = begin;
+    std::vector<so::AreaAnnotation> iter_context;
+    while (end < context.size() && context[end].iter == iter) {
+      iter_context.push_back(so::AreaAnnotation{
+          0, {so::Region{context[end].start, context[end].end}}});
+      ++end;
+    }
+    // The XQuery-function formulation re-derives every candidate region
+    // from its attribute strings on each invocation — nothing is indexed
+    // or reused across iterations.
+    std::vector<so::AreaAnnotation> candidates;
+    candidates.reserve(candidate_pres->size());
+    for (storage::Pre pre : *candidate_pres) {
+      if (config.start_attr == storage::kInvalidName ||
+          config.end_attr == storage::kInvalidName) {
+        break;
+      }
+      auto [has_start, start_text] = table.FindAttribute(pre, config.start_attr);
+      if (!has_start) continue;
+      auto [has_end, end_text] = table.FindAttribute(pre, config.end_attr);
+      if (!has_end) continue;
+      int64_t rs, re;
+      if (!so::ParseRegionValue(start_text, &rs) ||
+          !so::ParseRegionValue(end_text, &re)) {
+        continue;
+      }
+      candidates.push_back(so::AreaAnnotation{pre, {so::Region{rs, re}}});
+    }
+    std::vector<storage::Pre> pres;
+    so::NaiveStandoffJoin(op, iter_context, candidates, &pres);
+    for (storage::Pre pre : pres) {
+      if (NameMatches(step, doc, pre)) {
+        matches->push_back(so::IterMatch{iter, pre});
+      }
+    }
+    begin = end;
+  }
+  return Status::OK();
+}
+
+Status Engine::EvalFor(const Expr& expr, const Env& env, uint32_t iter_count,
+                       Lifted* out) {
+  Lifted bindings;
+  STANDOFF_RETURN_IF_ERROR(EvalExpr(*expr.in_expr, env, iter_count, &bindings));
+  const uint32_t inner_count = static_cast<uint32_t>(bindings.rows.size());
+  // Each binding row becomes one iteration of the inner space; remap the
+  // visible environment into it (the loop-lifting "map" relation).
+  std::vector<uint32_t> outer_of(inner_count);
+  for (uint32_t k = 0; k < inner_count; ++k) {
+    outer_of[k] = bindings.rows[k].iter;
+  }
+  Env inner_env;
+  for (const auto& [name, value] : env.vars) {
+    const std::vector<size_t> offsets = IterOffsets(value.rows, iter_count);
+    Lifted remapped;
+    remapped.iter_count = inner_count;
+    for (uint32_t k = 0; k < inner_count; ++k) {
+      for (size_t r = offsets[outer_of[k]]; r < offsets[outer_of[k] + 1];
+           ++r) {
+        remapped.rows.push_back(Row{k, value.rows[r].item});
+      }
+    }
+    inner_env.vars.emplace(name, std::move(remapped));
+  }
+  {
+    Lifted var;
+    var.iter_count = inner_count;
+    var.rows.reserve(inner_count);
+    for (uint32_t k = 0; k < inner_count; ++k) {
+      var.rows.push_back(Row{k, bindings.rows[k].item});
+    }
+    inner_env.vars[expr.var] = std::move(var);
+  }
+
+  Lifted body;
+  STANDOFF_RETURN_IF_ERROR(
+      EvalExpr(*expr.ret_expr, inner_env, inner_count, &body));
+
+  out->iter_count = iter_count;
+  out->rows.clear();
+  out->rows.reserve(body.rows.size());
+  // Body rows are sorted by inner iteration; outer_of is non-decreasing,
+  // so the mapped rows stay sorted by outer iteration.
+  for (const Row& row : body.rows) {
+    out->rows.push_back(Row{outer_of[row.iter], row.item});
+  }
+  return Status::OK();
+}
+
+Status Engine::EvalCount(const Expr& expr, const Env& env,
+                         uint32_t iter_count, Lifted* out) {
+  Lifted arg;
+  STANDOFF_RETURN_IF_ERROR(EvalExpr(*expr.lhs, env, iter_count, &arg));
+  std::vector<int64_t> counts(iter_count, 0);
+  for (const Row& row : arg.rows) ++counts[row.iter];
+  out->iter_count = iter_count;
+  out->rows.clear();
+  out->rows.reserve(iter_count);
+  for (uint32_t i = 0; i < iter_count; ++i) {
+    out->rows.push_back(Row{i, Item::Int(counts[i])});
+  }
+  return Status::OK();
+}
+
+Status Engine::EvalAdd(const Expr& expr, const Env& env, uint32_t iter_count,
+                       Lifted* out) {
+  Lifted lhs, rhs;
+  STANDOFF_RETURN_IF_ERROR(EvalExpr(*expr.lhs, env, iter_count, &lhs));
+  STANDOFF_RETURN_IF_ERROR(EvalExpr(*expr.rhs, env, iter_count, &rhs));
+  if (lhs.rows.size() != iter_count || rhs.rows.size() != iter_count) {
+    return Status::Invalid("'+' requires exactly one value per iteration");
+  }
+  out->iter_count = iter_count;
+  out->rows.clear();
+  out->rows.reserve(iter_count);
+  for (uint32_t i = 0; i < iter_count; ++i) {
+    if (lhs.rows[i].iter != i || rhs.rows[i].iter != i) {
+      return Status::Invalid("'+' requires exactly one value per iteration");
+    }
+    const Item& a = lhs.rows[i].item;
+    const Item& b = rhs.rows[i].item;
+    const auto numeric = [](const Item& item) {
+      return item.kind() == Item::Kind::kInt ||
+             item.kind() == Item::Kind::kDouble;
+    };
+    if (!numeric(a) || !numeric(b)) {
+      return Status::Invalid("'+' requires numeric operands");
+    }
+    if (a.kind() == Item::Kind::kInt && b.kind() == Item::Kind::kInt) {
+      out->rows.push_back(Row{i, Item::Int(a.int_value() + b.int_value())});
+    } else {
+      const double da = a.kind() == Item::Kind::kInt
+                            ? static_cast<double>(a.int_value())
+                            : a.double_value();
+      const double db = b.kind() == Item::Kind::kInt
+                            ? static_cast<double>(b.int_value())
+                            : b.double_value();
+      out->rows.push_back(Row{i, Item::Double(da + db)});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xquery
+}  // namespace standoff

@@ -1,0 +1,127 @@
+// The query engine: loop-lifted evaluation of the supported XQuery
+// subset over a DocumentStore. FLWOR iteration spaces are represented as
+// (iteration, item) row sequences, so an axis step inside a for-loop is
+// evaluated for ALL iterations at once — which is what lets a StandOff
+// step run as a single Loop-Lifted StandOff MergeJoin.
+//
+// The four StandoffMode settings correspond to the implementation
+// alternatives of the paper's Figure 6 and only differ in how the
+// select-/reject- axes execute; results are identical.
+#ifndef STANDOFF_XQUERY_ENGINE_H_
+#define STANDOFF_XQUERY_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "standoff/merge_join.h"
+#include "standoff/region_index.h"
+#include "storage/document_store.h"
+#include "xquery/algebra.h"
+#include "xquery/ast.h"
+
+namespace standoff {
+namespace xquery {
+
+enum class StandoffMode {
+  /// Per-iteration quadratic evaluation against every annotation in the
+  /// document, rebuilding the candidate regions from attribute strings on
+  /// each call — the paper's XQuery-function formulation without a
+  /// candidate sequence.
+  kUdfNoCandidates,
+  /// As above, but the name test restricts the candidates first.
+  kUdfCandidates,
+  /// Basic StandOff MergeJoin: one merge pass over the full region index
+  /// per loop iteration (name test applied afterwards).
+  kBasicMergeJoin,
+  /// Loop-Lifted StandOff MergeJoin: name-test pushdown through the
+  /// element-name index, then ONE merge pass for all iterations.
+  kLoopLifted,
+};
+
+const char* StandoffModeName(StandoffMode mode);
+
+struct EngineOptions {
+  /// Per-Evaluate wall-clock budget in seconds; <= 0 means unlimited.
+  double timeout_seconds = 0;
+  so::JoinOptions join;  // forwarded to the merge-join kernels
+};
+
+class Engine {
+ public:
+  explicit Engine(const storage::DocumentStore* store) : store_(store) {}
+
+  StatusOr<algebra::QueryResult> Evaluate(const std::string& query_text);
+
+  void set_standoff_mode(StandoffMode mode) { mode_ = mode; }
+  StandoffMode standoff_mode() const { return mode_; }
+  EngineOptions* mutable_options() { return &options_; }
+
+ private:
+  struct Env;  // variable bindings, defined in engine.cc
+
+  using Lifted = algebra::Lifted;
+
+  Status EvalExpr(const Expr& expr, const Env& env, uint32_t iter_count,
+                  Lifted* out);
+  Status EvalPath(const Expr& expr, const Env& env, uint32_t iter_count,
+                  Lifted* out);
+  Status EvalFor(const Expr& expr, const Env& env, uint32_t iter_count,
+                 Lifted* out);
+  Status EvalCount(const Expr& expr, const Env& env, uint32_t iter_count,
+                   Lifted* out);
+  Status EvalAdd(const Expr& expr, const Env& env, uint32_t iter_count,
+                 Lifted* out);
+
+  Status ApplyStep(const Step& step, Lifted* rows);
+  Status ApplyNavigationStep(const Step& step, Lifted* rows);
+  Status ApplyStandoffStep(const Step& step, Lifted* rows);
+  Status ApplyPredicate(const Expr& pred, Lifted* rows);
+
+  // StandoffMode implementations for one standoff step over one document.
+  Status StandoffLoopLifted(so::StandoffOp op, storage::DocId doc,
+                            const std::vector<so::IterRegion>& context,
+                            uint32_t iter_count, const Step& step,
+                            std::vector<so::IterMatch>* matches);
+  Status StandoffBasicPerIteration(so::StandoffOp op, storage::DocId doc,
+                                   const std::vector<so::IterRegion>& context,
+                                   const Step& step,
+                                   std::vector<so::IterMatch>* matches);
+  Status StandoffUdfPerIteration(so::StandoffOp op, storage::DocId doc,
+                                 const std::vector<so::IterRegion>& context,
+                                 const Step& step, bool with_candidates,
+                                 std::vector<so::IterMatch>* matches);
+
+  StatusOr<const so::RegionIndex*> GetIndex(storage::DocId doc);
+
+  /// Name-test pushdown: cached (entries ∩ name, ids ∩ name) per
+  /// (doc, name). any_name uses the full index.
+  struct CandidateSet {
+    std::vector<so::RegionEntry> entries;
+    std::vector<storage::Pre> ids;
+  };
+  StatusOr<const CandidateSet*> GetCandidates(storage::DocId doc,
+                                              const Step& step);
+
+  Status CheckDeadline() const;
+  bool NameMatches(const Step& step, storage::DocId doc,
+                   storage::Pre pre) const;
+
+  const storage::DocumentStore* store_;
+  StandoffMode mode_ = StandoffMode::kLoopLifted;
+  EngineOptions options_;
+  so::StandoffConfig standoff_config_;
+  so::RegionIndexCache index_cache_;
+  std::map<std::pair<storage::DocId, std::string>, CandidateSet>
+      candidate_cache_;
+  Timer deadline_timer_;
+  double deadline_seconds_ = 0;  // active budget for the running Evaluate
+};
+
+}  // namespace xquery
+}  // namespace standoff
+
+#endif  // STANDOFF_XQUERY_ENGINE_H_

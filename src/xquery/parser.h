@@ -1,0 +1,18 @@
+// Recursive-descent parser for the supported XQuery subset.
+#ifndef STANDOFF_XQUERY_PARSER_H_
+#define STANDOFF_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace standoff {
+namespace xquery {
+
+StatusOr<Query> ParseQuery(std::string_view text);
+
+}  // namespace xquery
+}  // namespace standoff
+
+#endif  // STANDOFF_XQUERY_PARSER_H_

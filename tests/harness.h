@@ -1,0 +1,84 @@
+// Dependency-free micro test harness: CHECK macros accumulate failures,
+// RUN_TEST prints per-case results, TEST_MAIN reports the exit code.
+#ifndef STANDOFF_TESTS_HARNESS_H_
+#define STANDOFF_TESTS_HARNESS_H_
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace test {
+
+inline int failures = 0;
+
+template <typename T>
+std::string Repr(const T& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+// StatusText(s, 0) prefers the StatusOr overload, falls back to Status.
+template <typename S>
+auto StatusText(const S& s, int) -> decltype(s.status().ToString()) {
+  return s.status().ToString();
+}
+template <typename S>
+auto StatusText(const S& s, long) -> decltype(s.ToString()) {
+  return s.ToString();
+}
+
+}  // namespace test
+
+#define CHECK(cond)                                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "  FAIL %s:%d: %s\n", __FILE__, __LINE__,    \
+                   #cond);                                              \
+      ++test::failures;                                                 \
+    }                                                                   \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                  \
+  do {                                                                  \
+    const auto _va = (a);                                               \
+    const auto _vb = (b);                                               \
+    if (!(_va == _vb)) {                                                \
+      std::fprintf(stderr, "  FAIL %s:%d: %s == %s (%s vs %s)\n",       \
+                   __FILE__, __LINE__, #a, #b,                          \
+                   test::Repr(_va).c_str(), test::Repr(_vb).c_str());   \
+      ++test::failures;                                                 \
+    }                                                                   \
+  } while (0)
+
+#define CHECK_OK(expr)                                                  \
+  do {                                                                  \
+    const auto& _st = (expr);                                           \
+    if (!_st.ok()) {                                                    \
+      std::fprintf(stderr, "  FAIL %s:%d: %s -> %s\n", __FILE__,        \
+                   __LINE__, #expr,                                     \
+                   test::StatusText(_st, 0).c_str());                   \
+      ++test::failures;                                                 \
+    }                                                                   \
+  } while (0)
+
+#define RUN_TEST(fn)                                                    \
+  do {                                                                  \
+    const int _before = test::failures;                                 \
+    fn();                                                               \
+    std::printf("[%s] %s\n",                                            \
+                test::failures == _before ? "PASS" : "FAIL", #fn);      \
+  } while (0)
+
+#define TEST_MAIN()                                                     \
+  do {                                                                  \
+    if (test::failures) {                                               \
+      std::printf("%d check(s) failed\n", test::failures);              \
+      return 1;                                                         \
+    }                                                                   \
+    std::printf("all checks passed\n");                                 \
+    return 0;                                                           \
+  } while (0)
+
+#endif  // STANDOFF_TESTS_HARNESS_H_

@@ -1,0 +1,96 @@
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "tests/harness.h"
+
+using namespace standoff;
+
+static void TestStatus() {
+  CHECK(Status::OK().ok());
+  Status bad = Status::Invalid("boom");
+  CHECK(!bad.ok());
+  CHECK_EQ(bad.ToString(), std::string("INVALID_ARGUMENT: boom"));
+  CHECK(Status::TimedOut("late").IsTimedOut());
+  CHECK(!bad.IsTimedOut());
+
+  StatusOr<int> value = 7;
+  CHECK(value.ok());
+  CHECK_EQ(*value, 7);
+  CHECK_EQ(value.ValueOr(3), 7);
+  StatusOr<int> err = Status::NotFound("nope");
+  CHECK(!err.ok());
+  CHECK(err.status().IsNotFound());
+  CHECK_EQ(err.ValueOr(3), 3);
+
+  StatusOr<std::string> moved = std::string("payload");
+  CHECK_EQ(moved.MoveValueUnsafe(), std::string("payload"));
+}
+
+static void TestSplit() {
+  auto pieces = Split("a,b,,c", ',');
+  CHECK_EQ(pieces.size(), 4u);
+  CHECK_EQ(pieces[0], std::string("a"));
+  CHECK_EQ(pieces[2], std::string(""));
+  CHECK_EQ(pieces[3], std::string("c"));
+  CHECK(Split("", ',').empty());
+  CHECK_EQ(Split("solo", ',').size(), 1u);
+}
+
+static void TestParse() {
+  CHECK_EQ(*ParseDouble("0.05"), 0.05);
+  CHECK_EQ(*ParseDouble(" 2.5 "), 2.5);
+  CHECK(!ParseDouble("x").ok());
+  CHECK(!ParseDouble("1.5x").ok());
+  CHECK(!ParseDouble("").ok());
+  CHECK_EQ(*ParseInt64("42"), int64_t{42});
+  CHECK_EQ(*ParseInt64("-7"), int64_t{-7});
+  CHECK(!ParseInt64("4.2").ok());
+}
+
+static void TestHumanBytes() {
+  CHECK_EQ(HumanBytes(982), std::string("982B"));
+  CHECK_EQ(HumanBytes(1126ull * 1024), std::string("1.1MB"));
+  CHECK_EQ(HumanBytes(12ull * 1024 + 300), std::string("12.3KB"));
+}
+
+static void TestRng() {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) CHECK_EQ(a.NextUint64(), b.NextUint64());
+  Rng c(43);
+  CHECK(Rng(42).NextUint64() != c.NextUint64());
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformRange(-5, 5);
+    CHECK(v >= -5 && v <= 5);
+    double d = r.NextDouble();
+    CHECK(d >= 0.0 && d < 1.0);
+  }
+  // Inclusive bounds are actually reachable.
+  bool lo = false, hi = false;
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = r.UniformRange(0, 1);
+    lo |= v == 0;
+    hi |= v == 1;
+  }
+  CHECK(lo && hi);
+}
+
+static void TestTimer() {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  CHECK(t.ElapsedSeconds() >= 0);
+  double first = t.ElapsedSeconds();
+  CHECK(t.ElapsedSeconds() >= first);
+}
+
+int main() {
+  RUN_TEST(TestStatus);
+  RUN_TEST(TestSplit);
+  RUN_TEST(TestParse);
+  RUN_TEST(TestHumanBytes);
+  RUN_TEST(TestRng);
+  RUN_TEST(TestTimer);
+  TEST_MAIN();
+}

@@ -1,0 +1,120 @@
+#include "storage/document_store.h"
+#include "tests/harness.h"
+
+using namespace standoff;
+using storage::Pre;
+
+namespace {
+
+// The Figure 4 document: pre numbering must put the four <c> elements at
+// pres 2..5 (document node 0, root 1; attributes and whitespace-only
+// text take no pre slots).
+const char* const kFig4 = R"(<r><c start="5" end="10"/>
+      <c start="22" end="45"/>
+      <c start="40" end="60"/>
+      <c start="65" end="70"/></r>)";
+
+}  // namespace
+
+static void TestPreNumbering() {
+  storage::DocumentStore store;
+  auto id = store.AddDocumentText("fig4.xml", kFig4);
+  CHECK_OK(id);
+  CHECK_EQ(*id, 0u);
+  const storage::NodeTable& table = store.table(0);
+  CHECK_EQ(table.size(), 6u);
+  CHECK(table.kind(0) == storage::NodeKind::kDocument);
+  CHECK(table.IsElement(1));
+  CHECK_EQ(store.names().name(table.name(1)), std::string_view("r"));
+  for (Pre pre = 2; pre <= 5; ++pre) {
+    CHECK(table.IsElement(pre));
+    CHECK_EQ(store.names().name(table.name(pre)), std::string_view("c"));
+    CHECK_EQ(table.parent(pre), 1u);
+    CHECK_EQ(table.subtree_size(pre), 0u);
+    CHECK_EQ(table.level(pre), 2);
+  }
+  CHECK_EQ(table.subtree_size(0), 5u);
+  CHECK_EQ(table.subtree_size(1), 4u);
+}
+
+static void TestAttributes() {
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("fig4.xml", kFig4));
+  const storage::NodeTable& table = store.table(0);
+  const storage::NameId start = store.names().Lookup("start");
+  const storage::NameId end = store.names().Lookup("end");
+  CHECK(start != storage::kInvalidName);
+  auto [found, value] = table.FindAttribute(2, start);
+  CHECK(found);
+  CHECK_EQ(value, std::string_view("5"));
+  auto [found2, value2] = table.FindAttribute(5, end);
+  CHECK(found2);
+  CHECK_EQ(value2, std::string_view("70"));
+  auto [found3, value3] = table.FindAttribute(2, store.names().Lookup("r"));
+  CHECK(!found3);
+  (void)value3;
+  CHECK_EQ(table.attribute_count(2), 2u);
+  CHECK_EQ(table.attribute_count(1), 0u);
+  CHECK(store.names().Lookup("nonexistent") == storage::kInvalidName);
+}
+
+static void TestTextNodes() {
+  storage::DocumentStore store;
+  auto id = store.AddDocumentText("t.xml", "<a><b>hello</b> <b>world</b></a>");
+  CHECK_OK(id);
+  const storage::NodeTable& table = store.table(0);
+  // doc, a, b, text, b, text
+  CHECK_EQ(table.size(), 6u);
+  CHECK(table.kind(3) == storage::NodeKind::kText);
+  CHECK_EQ(table.text(3), std::string_view("hello"));
+  CHECK_EQ(table.text(5), std::string_view("world"));
+  CHECK_EQ(table.parent(3), 2u);
+}
+
+static void TestElementIndex() {
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("fig4.xml", kFig4));
+  const storage::ElementIndex& index = store.document(0).element_index;
+  const std::vector<Pre>& cs = index.Lookup(store.names().Lookup("c"));
+  CHECK_EQ(cs.size(), 4u);
+  CHECK_EQ(cs[0], 2u);
+  CHECK_EQ(cs[3], 5u);
+  CHECK_EQ(index.Lookup(store.names().Lookup("r")).size(), 1u);
+  CHECK(index.Lookup(storage::kInvalidName).empty());
+
+  storage::ElementIndex rebuilt;
+  rebuilt.Build(store.table(0), store.names().size());
+  CHECK_EQ(rebuilt.Lookup(store.names().Lookup("c")).size(), 4u);
+}
+
+static void TestMultipleDocumentsAndBlob() {
+  storage::DocumentStore store;
+  auto a = store.AddDocumentText("a.xml", "<x><y/></x>");
+  auto b = store.AddDocumentText("b.xml", "<x><z/></x>");
+  CHECK_OK(a);
+  CHECK_OK(b);
+  CHECK_EQ(*b, 1u);
+  CHECK_EQ(store.document_count(), 2u);
+  // Shared name table: "x" has the same id in both docs.
+  CHECK_EQ(store.table(0).name(1), store.table(1).name(1));
+  CHECK_OK(store.SetBlob(0, "blob-bytes"));
+  CHECK_EQ(store.document(0).blob, std::string("blob-bytes"));
+  CHECK(!store.SetBlob(7, "x").ok());
+}
+
+static void TestShredErrors() {
+  storage::DocumentStore store;
+  CHECK(!store.AddDocumentText("bad.xml", "<a><b></a>").ok());
+  CHECK(!store.AddDocumentText("bad.xml", "<a/>junk<b/>").ok());
+  CHECK(!store.AddDocumentText("bad.xml", "").ok());
+}
+
+int main() {
+  RUN_TEST(TestPreNumbering);
+  RUN_TEST(TestAttributes);
+  RUN_TEST(TestTextNodes);
+  RUN_TEST(TestElementIndex);
+  RUN_TEST(TestMultipleDocumentsAndBlob);
+  RUN_TEST(TestShredErrors);
+  TEST_MAIN();
+}

@@ -1,0 +1,127 @@
+// The four StandoffMode execution alternatives must produce identical
+// results for the Figure 6 query set; they only differ in cost.
+#include "storage/document_store.h"
+#include "tests/harness.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xmark/standoff_transform.h"
+#include "xquery/engine.h"
+
+using namespace standoff;
+using algebra::Item;
+
+namespace {
+
+bool ItemsEqual(const Item& a, const Item& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Item::Kind::kNode: return a.stored_node() == b.stored_node();
+    case Item::Kind::kInt: return a.int_value() == b.int_value();
+    case Item::Kind::kDouble: return a.double_value() == b.double_value();
+    case Item::Kind::kString: return a.string_value() == b.string_value();
+  }
+  return false;
+}
+
+}  // namespace
+
+static void TestModesAgree() {
+  xmark::XmarkOptions options;
+  options.scale = 0.003;
+  std::string nested = xmark::GenerateXmark(options);
+  auto so_doc = xmark::ToStandoff(nested);
+  CHECK_OK(so_doc);
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("s.xml", so_doc->xml));
+
+  const xquery::StandoffMode kModes[] = {
+      xquery::StandoffMode::kUdfNoCandidates,
+      xquery::StandoffMode::kUdfCandidates,
+      xquery::StandoffMode::kBasicMergeJoin,
+      xquery::StandoffMode::kLoopLifted,
+  };
+  for (const xmark::XmarkQuery& query : xmark::BenchmarkQueries()) {
+    algebra::QueryResult reference;
+    bool have_reference = false;
+    for (xquery::StandoffMode mode : kModes) {
+      xquery::Engine engine(&store);
+      engine.set_standoff_mode(mode);
+      auto r = engine.Evaluate(query.standoff);
+      CHECK_OK(r);
+      if (!r.ok()) continue;
+      if (!have_reference) {
+        reference = std::move(*r);
+        have_reference = true;
+        CHECK(!reference.items.empty());
+        continue;
+      }
+      CHECK_EQ(r->items.size(), reference.items.size());
+      if (r->items.size() == reference.items.size()) {
+        for (size_t i = 0; i < r->items.size(); ++i) {
+          if (!ItemsEqual(r->items[i], reference.items[i])) {
+            std::fprintf(stderr, "  %s: mode %s differs at item %zu\n",
+                         query.name, xquery::StandoffModeName(mode), i);
+            CHECK(false);
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+static void TestRejectAxesThroughEngine() {
+  // reject axes agree across modes on a small standoff document too.
+  auto so_doc = xmark::ToStandoff(
+      "<r><a><x/><y/></a><b><x/><z/></b></r>");
+  CHECK_OK(so_doc);
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("s.xml", so_doc->xml));
+  const char* kQueries[] = {
+      "for $c in /r/select-narrow::a return count($c/reject-narrow::x)",
+      "for $c in /r/select-narrow::b return count($c/reject-wide::x)",
+      "/r/select-narrow::a/select-wide::y",
+  };
+  for (const char* q : kQueries) {
+    algebra::QueryResult reference;
+    bool have_reference = false;
+    for (auto mode : {xquery::StandoffMode::kUdfNoCandidates,
+                      xquery::StandoffMode::kUdfCandidates,
+                      xquery::StandoffMode::kBasicMergeJoin,
+                      xquery::StandoffMode::kLoopLifted}) {
+      xquery::Engine engine(&store);
+      engine.set_standoff_mode(mode);
+      auto r = engine.Evaluate(q);
+      CHECK_OK(r);
+      if (!r.ok()) continue;
+      if (!have_reference) {
+        reference = std::move(*r);
+        have_reference = true;
+        continue;
+      }
+      CHECK_EQ(r->items.size(), reference.items.size());
+      for (size_t i = 0;
+           i < r->items.size() && i < reference.items.size(); ++i) {
+        CHECK(ItemsEqual(r->items[i], reference.items[i]));
+      }
+    }
+  }
+}
+
+static void TestModeNames() {
+  CHECK_EQ(StandoffModeName(xquery::StandoffMode::kUdfNoCandidates),
+           std::string("udf-no-candidates"));
+  CHECK_EQ(StandoffModeName(xquery::StandoffMode::kUdfCandidates),
+           std::string("udf-candidates"));
+  CHECK_EQ(StandoffModeName(xquery::StandoffMode::kBasicMergeJoin),
+           std::string("basic-mergejoin"));
+  CHECK_EQ(StandoffModeName(xquery::StandoffMode::kLoopLifted),
+           std::string("loop-lifted-mergejoin"));
+}
+
+int main() {
+  RUN_TEST(TestModesAgree);
+  RUN_TEST(TestRejectAxesThroughEngine);
+  RUN_TEST(TestModeNames);
+  TEST_MAIN();
+}

@@ -1,0 +1,142 @@
+// StandOff axes through the engine: the Section 3.1 queries on the
+// video/audio document, and select-narrow ≡ descendant on an XMark
+// document and its StandOff transform.
+#include "storage/document_store.h"
+#include "tests/harness.h"
+#include "xmark/generator.h"
+#include "xmark/standoff_transform.h"
+#include "xquery/engine.h"
+
+using namespace standoff;
+
+namespace {
+
+const char* const kVideoXml = R"(<sample>
+  <video>
+    <shot id="Intro" start="0:00" end="0:08"/>
+    <shot id="Interview" start="0:08" end="1:04"/>
+    <shot id="Outro" start="1:04" end="1:34"/>
+  </video>
+  <audio>
+    <music artist="U2" start="0:00" end="0:31"/>
+    <music artist="Bach" start="0:52" end="1:34"/>
+  </audio>
+</sample>)";
+
+std::string Ids(const storage::DocumentStore& store,
+                const algebra::QueryResult& result) {
+  std::string out;
+  for (const algebra::Item& item : result.items) {
+    auto node = item.stored_node();
+    auto [found, value] = store.table(node.doc).FindAttribute(
+        node.pre, store.names().Lookup("id"));
+    if (!out.empty()) out += " ";
+    out += found ? std::string(value) : "?";
+  }
+  return out;
+}
+
+}  // namespace
+
+static void TestSection31Queries() {
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("video.xml", kVideoXml));
+  xquery::Engine engine(&store);
+  const struct {
+    const char* axis;
+    const char* expected;
+  } kCases[] = {
+      {"select-narrow", "Intro"},
+      {"select-wide", "Intro Interview"},
+      {"reject-narrow", "Interview Outro"},
+      {"reject-wide", "Outro"},
+  };
+  for (const auto& c : kCases) {
+    std::string query = "declare option standoff-type \"timecode\"; "
+                        "//music[@artist = \"U2\"]/" +
+                        std::string(c.axis) + "::shot";
+    auto r = engine.Evaluate(query);
+    CHECK_OK(r);
+    if (r.ok()) CHECK_EQ(Ids(store, *r), std::string(c.expected));
+  }
+}
+
+static void TestContextWithoutRegion() {
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("video.xml", kVideoXml));
+  xquery::Engine engine(&store);
+  // <video> carries no region attributes -> contributes no context rows.
+  auto r = engine.Evaluate("//video/select-narrow::shot");
+  CHECK_OK(r);
+  CHECK(r->items.empty());
+}
+
+static void TestSelectNarrowMatchesDescendant() {
+  xmark::XmarkOptions options;
+  options.scale = 0.002;
+  std::string nested = xmark::GenerateXmark(options);
+  auto so_doc = xmark::ToStandoff(nested);
+  CHECK_OK(so_doc);
+
+  storage::DocumentStore nested_store, so_store;
+  CHECK_OK(nested_store.AddDocumentText("n.xml", nested));
+  CHECK_OK(so_store.AddDocumentText("s.xml", so_doc->xml));
+  xquery::Engine nested_engine(&nested_store);
+  xquery::Engine so_engine(&so_store);
+
+  auto nested_counts = nested_engine.Evaluate(
+      "for $a in /site/open_auctions/open_auction "
+      "return count($a/descendant::bidder)");
+  auto so_counts = so_engine.Evaluate(
+      "for $a in /site/select-narrow::open_auctions"
+      "/select-narrow::open_auction "
+      "return count($a/select-narrow::bidder)");
+  CHECK_OK(nested_counts);
+  CHECK_OK(so_counts);
+  CHECK(!nested_counts->items.empty());
+  CHECK_EQ(nested_counts->items.size(), so_counts->items.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < nested_counts->items.size(); ++i) {
+    CHECK_EQ(nested_counts->items[i].int_value(),
+             so_counts->items[i].int_value());
+    total += so_counts->items[i].int_value();
+  }
+  CHECK(total > 0);
+
+  // Whole-document sweeps agree too.
+  for (const char* name : {"bidder", "item", "person", "description"}) {
+    auto a = nested_engine.Evaluate("count(//" + std::string(name) + ")");
+    auto b = so_engine.Evaluate("count(/site/select-narrow::" +
+                                std::string(name) + ")");
+    CHECK_OK(a);
+    CHECK_OK(b);
+    CHECK_EQ(a->items[0].int_value(), b->items[0].int_value());
+  }
+}
+
+static void TestTimeout() {
+  xmark::XmarkOptions options;
+  options.scale = 0.01;
+  std::string nested = xmark::GenerateXmark(options);
+  auto so_doc = xmark::ToStandoff(nested);
+  CHECK_OK(so_doc);
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("s.xml", so_doc->xml));
+  xquery::Engine engine(&store);
+  engine.set_standoff_mode(xquery::StandoffMode::kUdfNoCandidates);
+  engine.mutable_options()->timeout_seconds = 1e-7;
+  auto r = engine.Evaluate(
+      "for $a in /site/select-narrow::open_auctions"
+      "/select-narrow::open_auction "
+      "return count($a/select-narrow::bidder)");
+  CHECK(!r.ok());
+  CHECK(r.status().IsTimedOut());
+}
+
+int main() {
+  RUN_TEST(TestSection31Queries);
+  RUN_TEST(TestContextWithoutRegion);
+  RUN_TEST(TestSelectNarrowMatchesDescendant);
+  RUN_TEST(TestTimeout);
+  TEST_MAIN();
+}

@@ -1,0 +1,131 @@
+#include "standoff/region_index.h"
+#include "tests/harness.h"
+
+using namespace standoff;
+using so::RegionEntry;
+using storage::Pre;
+
+namespace {
+
+const char* const kVideoXml = R"(<sample>
+  <video>
+    <shot id="Intro" start="0:00" end="0:08"/>
+    <shot id="Interview" start="0:08" end="1:04"/>
+    <shot id="Outro" start="1:04" end="1:34"/>
+  </video>
+  <audio>
+    <music artist="U2" start="0:00" end="0:31"/>
+    <music artist="Bach" start="0:52" end="1:34"/>
+  </audio>
+</sample>)";
+
+}  // namespace
+
+static void TestFromEntriesSorts() {
+  std::vector<RegionEntry> entries{
+      {50, 60, 4}, {10, 20, 2}, {10, 15, 3}, {10, 15, 7}};
+  so::RegionIndex index = so::RegionIndex::FromEntries(entries);
+  CHECK_EQ(index.size(), 4u);
+  CHECK(index.entries()[0] == (RegionEntry{10, 15, 3}));
+  CHECK(index.entries()[1] == (RegionEntry{10, 15, 7}));
+  CHECK(index.entries()[2] == (RegionEntry{10, 20, 2}));
+  CHECK(index.entries()[3] == (RegionEntry{50, 60, 4}));
+  // annotated_ids sorted by id, not by start.
+  const std::vector<Pre>& ids = index.annotated_ids();
+  CHECK_EQ(ids.size(), 4u);
+  CHECK_EQ(ids[0], 2u);
+  CHECK_EQ(ids[3], 7u);
+}
+
+static void TestBuildFromTable() {
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("video.xml", kVideoXml));
+  auto index = so::RegionIndex::Build(
+      store.table(0), so::Resolve(so::StandoffConfig{}, store.names()));
+  CHECK_OK(index);
+  // Five annotated elements (3 shots + 2 music); sample/video/audio have
+  // no start/end attributes.
+  CHECK_EQ(index->size(), 5u);
+  // Timecodes parse to seconds and sort by start:
+  // Intro[0,8](pre3), U2[0,31](pre7), Interview[8,64](pre4),
+  // Bach[52,94](pre8), Outro[64,94](pre5).
+  CHECK(index->entries()[0] == (RegionEntry{0, 8, 3}));
+  CHECK(index->entries()[1] == (RegionEntry{0, 31, 7}));
+  CHECK(index->entries()[2] == (RegionEntry{8, 64, 4}));
+  CHECK(index->entries()[3] == (RegionEntry{52, 94, 8}));
+  CHECK(index->entries()[4] == (RegionEntry{64, 94, 5}));
+
+  int64_t start, end;
+  CHECK(index->RegionOf(7, &start, &end));
+  CHECK_EQ(start, int64_t{0});
+  CHECK_EQ(end, int64_t{31});
+  CHECK(!index->RegionOf(1, &start, &end));
+}
+
+static void TestIntersect() {
+  std::vector<RegionEntry> entries;
+  for (Pre id = 2; id < 12; ++id) {
+    entries.push_back(RegionEntry{static_cast<int64_t>(id) * 10,
+                                  static_cast<int64_t>(id) * 10 + 5, id});
+  }
+  so::RegionIndex index = so::RegionIndex::FromEntries(entries);
+  std::vector<Pre> wanted{3, 7, 11, 99};
+  std::vector<RegionEntry> got = index.Intersect(wanted);
+  CHECK_EQ(got.size(), 3u);
+  CHECK_EQ(got[0].id, 3u);
+  CHECK_EQ(got[1].id, 7u);
+  CHECK_EQ(got[2].id, 11u);
+  CHECK(index.Intersect({}).empty());
+}
+
+static void TestMissingConfigAttrs() {
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("v.xml", "<a><b start=\"1\" end=\"2\"/></a>"));
+  so::StandoffConfig config;
+  config.start_attr = "absent";
+  auto index =
+      so::RegionIndex::Build(store.table(0), so::Resolve(config, store.names()));
+  CHECK_OK(index);
+  CHECK_EQ(index->size(), 0u);
+}
+
+static void TestBadRegionValues() {
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("v.xml", "<a><b start=\"x\" end=\"2\"/></a>"));
+  auto index = so::RegionIndex::Build(
+      store.table(0), so::Resolve(so::StandoffConfig{}, store.names()));
+  CHECK(!index.ok());
+
+  storage::DocumentStore store2;
+  CHECK_OK(store2.AddDocumentText("v.xml", "<a><b start=\"9\" end=\"2\"/></a>"));
+  auto index2 = so::RegionIndex::Build(
+      store2.table(0), so::Resolve(so::StandoffConfig{}, store2.names()));
+  CHECK(!index2.ok());
+}
+
+static void TestCache() {
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("video.xml", kVideoXml));
+  so::RegionIndexCache cache;
+  auto first = cache.Get(store, 0, so::StandoffConfig{});
+  CHECK_OK(first);
+  auto second = cache.Get(store, 0, so::StandoffConfig{});
+  CHECK_OK(second);
+  CHECK(*first == *second);  // same instance reused
+  so::StandoffConfig timecode;
+  timecode.type = "timecode";
+  auto third = cache.Get(store, 0, timecode);
+  CHECK_OK(third);
+  CHECK(*first != *third);  // distinct config -> distinct entry
+  CHECK(!cache.Get(store, 5, so::StandoffConfig{}).ok());
+}
+
+int main() {
+  RUN_TEST(TestFromEntriesSorts);
+  RUN_TEST(TestBuildFromTable);
+  RUN_TEST(TestIntersect);
+  RUN_TEST(TestMissingConfigAttrs);
+  RUN_TEST(TestBadRegionValues);
+  RUN_TEST(TestCache);
+  TEST_MAIN();
+}

@@ -1,0 +1,70 @@
+#include "standoff/region_index.h"
+#include "tests/harness.h"
+
+using namespace standoff;
+
+static void TestPlainNumbers() {
+  int64_t v = -1;
+  CHECK(so::ParseRegionValue("0", &v));
+  CHECK_EQ(v, int64_t{0});
+  CHECK(so::ParseRegionValue("12345", &v));
+  CHECK_EQ(v, int64_t{12345});
+  CHECK(so::ParseRegionValue(" 42 ", &v));
+  CHECK_EQ(v, int64_t{42});
+  CHECK(so::ParseRegionValue("3.7", &v));
+  CHECK_EQ(v, int64_t{4});  // rounded
+}
+
+static void TestTimecodes() {
+  int64_t v = -1;
+  CHECK(so::ParseRegionValue("0:00", &v));
+  CHECK_EQ(v, int64_t{0});
+  CHECK(so::ParseRegionValue("0:08", &v));
+  CHECK_EQ(v, int64_t{8});
+  CHECK(so::ParseRegionValue("1:04", &v));
+  CHECK_EQ(v, int64_t{64});
+  CHECK(so::ParseRegionValue("1:34", &v));
+  CHECK_EQ(v, int64_t{94});
+  CHECK(so::ParseRegionValue("1:02:03", &v));
+  CHECK_EQ(v, int64_t{3723});
+  // Fractional parts keep their scale (1.5 minutes = 90 seconds).
+  CHECK(so::ParseRegionValue("1.5:00", &v));
+  CHECK_EQ(v, int64_t{90});
+  CHECK(so::ParseRegionValue("0:07.6", &v));
+  CHECK_EQ(v, int64_t{8});
+}
+
+static void TestRejects() {
+  int64_t v = -1;
+  CHECK(!so::ParseRegionValue("", &v));
+  CHECK(!so::ParseRegionValue("abc", &v));
+  CHECK(!so::ParseRegionValue("1:xx", &v));
+  CHECK(!so::ParseRegionValue("12 34", &v));
+}
+
+static void TestResolve() {
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("d.xml", "<a from=\"1\" to=\"2\"/>"));
+  so::StandoffConfig config;
+  config.start_attr = "from";
+  config.end_attr = "to";
+  so::ResolvedConfig resolved = so::Resolve(config, store.names());
+  CHECK(resolved.start_attr != storage::kInvalidName);
+  CHECK(resolved.end_attr != storage::kInvalidName);
+  auto index = so::RegionIndex::Build(store.table(0), resolved);
+  CHECK_OK(index);
+  CHECK_EQ(index->size(), 1u);
+  CHECK(index->entries()[0] == (so::RegionEntry{1, 2, 1}));
+
+  so::ResolvedConfig unresolved =
+      so::Resolve(so::StandoffConfig{}, store.names());
+  CHECK(unresolved.start_attr == storage::kInvalidName);
+}
+
+int main() {
+  RUN_TEST(TestPlainNumbers);
+  RUN_TEST(TestTimecodes);
+  RUN_TEST(TestRejects);
+  RUN_TEST(TestResolve);
+  TEST_MAIN();
+}

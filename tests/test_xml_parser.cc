@@ -1,0 +1,70 @@
+#include "tests/harness.h"
+#include "xml/dom.h"
+
+using namespace standoff;
+
+static void TestBasicDom() {
+  auto doc = xml::Parse(R"(<?xml version="1.0"?>
+<root a="1">
+  <!-- comment -->
+  <child b='two'>text &amp; more</child>
+  <empty/>
+</root>)");
+  CHECK_OK(doc);
+  CHECK_EQ(doc->root.name, std::string("root"));
+  CHECK_EQ(doc->root.FindAttr("a"), std::string_view("1"));
+  CHECK_EQ(doc->root.children.size(), 2u);  // whitespace dropped
+  const xml::Node* child = doc->root.FindChild("child");
+  CHECK(child != nullptr);
+  CHECK_EQ(child->FindAttr("b"), std::string_view("two"));
+  CHECK_EQ(child->children.size(), 1u);
+  CHECK_EQ(child->children[0].text, std::string("text & more"));
+  CHECK(doc->root.FindChild("empty") != nullptr);
+  CHECK(doc->root.FindChild("absent") == nullptr);
+}
+
+static void TestEntities() {
+  auto doc = xml::Parse("<r t=\"&lt;&gt;&quot;&apos;\">&#65;&#x42;</r>");
+  CHECK_OK(doc);
+  CHECK_EQ(doc->root.FindAttr("t"), std::string_view("<>\"'"));
+  CHECK_EQ(doc->root.children[0].text, std::string("AB"));
+}
+
+static void TestCdata() {
+  auto doc = xml::Parse("<r><![CDATA[a <b> & c]]></r>");
+  CHECK_OK(doc);
+  CHECK_EQ(doc->root.children[0].text, std::string("a <b> & c"));
+}
+
+static void TestErrors() {
+  CHECK(!xml::Parse("<a><b></a></b>").ok());
+  CHECK(!xml::Parse("<a>").ok());
+  CHECK(!xml::Parse("plain text").ok());
+  CHECK(!xml::Parse("<a/><b/>").ok());
+  CHECK(!xml::Parse("<a attr></a>").ok());
+  CHECK(!xml::Parse("<a x=\"unterminated></a>").ok());
+  CHECK(!xml::Parse("<a>&bogus;</a>").ok());
+  CHECK(!xml::Parse("").ok());
+  // Malformed character references: empty, NUL, beyond Unicode.
+  CHECK(!xml::Parse("<a>&#x;</a>").ok());
+  CHECK(!xml::Parse("<a>&#;</a>").ok());
+  CHECK(!xml::Parse("<a>&#0;</a>").ok());
+  CHECK(!xml::Parse("<a>&#4294967296;</a>").ok());
+  CHECK(!xml::Parse("<a>&#x110000;</a>").ok());
+}
+
+static void TestDoctypeAndPi() {
+  auto doc = xml::Parse(
+      "<!DOCTYPE site SYSTEM \"auction.dtd\">\n<?pi data?>\n<site/>");
+  CHECK_OK(doc);
+  CHECK_EQ(doc->root.name, std::string("site"));
+}
+
+int main() {
+  RUN_TEST(TestBasicDom);
+  RUN_TEST(TestEntities);
+  RUN_TEST(TestCdata);
+  RUN_TEST(TestErrors);
+  RUN_TEST(TestDoctypeAndPi);
+  TEST_MAIN();
+}
