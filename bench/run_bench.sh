@@ -13,8 +13,8 @@ OUT="$REPO_ROOT/BENCH_results.json"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
-BENCHES=(bench_mergejoin_micro bench_ablation_active_list
-         bench_ablation_pushdown bench_loading)
+BENCHES=(bench_mergejoin_micro bench_parallel_scaling
+         bench_ablation_active_list bench_ablation_pushdown bench_loading)
 
 ran=0
 for bench in "${BENCHES[@]}"; do

@@ -168,12 +168,12 @@ struct PassState {
 /// active i-context's end reaches past the candidate's end.
 template <typename CtxSet>
 void SelectNarrowPass(const std::vector<IterRegion>& ctx,
-                      const std::vector<RegionEntry>& cand,
+                      const RegionEntry* cand, size_t cand_n,
                       PassState* state, TraceSink* trace,
                       std::vector<IterMatch>* matches) {
   CtxSet active;
   size_t i = 0;
-  for (size_t j = 0; j < cand.size(); ++j) {
+  for (size_t j = 0; j < cand_n; ++j) {
     const RegionEntry& r = cand[j];
     while (i < ctx.size() && ctx[i].start <= r.start) {
       const IterRegion& c = ctx[i];
@@ -227,15 +227,15 @@ void SelectNarrowPass(const std::vector<IterRegion>& ctx,
 /// whichever side arrives later.
 template <typename CtxSet, typename CandSet>
 void SelectWidePass(const std::vector<IterRegion>& ctx,
-                    const std::vector<RegionEntry>& cand,
+                    const RegionEntry* cand, size_t cand_n,
                     PassState* state, TraceSink* trace,
                     std::vector<IterMatch>* matches) {
   CtxSet active_ctx;
   CandSet active_cand;
   size_t i = 0, j = 0;
-  while (i < ctx.size() || j < cand.size()) {
+  while (i < ctx.size() || j < cand_n) {
     const bool take_ctx =
-        j >= cand.size() ||
+        j >= cand_n ||
         (i < ctx.size() && ctx[i].start <= cand[j].start);
     if (take_ctx) {
       const IterRegion& c = ctx[i];
@@ -298,10 +298,36 @@ void SelectWidePass(const std::vector<IterRegion>& ctx,
   }
 }
 
-/// Emits, for every loop iteration that has at least one context region,
-/// the candidate universe minus that iteration's select matches.
-/// `matches` must be sorted by (iter, pre) and duplicate-free; `universe`
-/// sorted ascending and duplicate-free.
+}  // namespace
+
+namespace detail {
+
+std::vector<IterRegion> SingleIterationRows(
+    const std::vector<AreaAnnotation>& context) {
+  std::vector<IterRegion> rows;
+  rows.reserve(context.size());
+  for (size_t i = 0; i < context.size(); ++i) {
+    for (const Region& r : context[i].regions) {
+      rows.push_back(IterRegion{0, r.start, r.end, static_cast<uint32_t>(i)});
+    }
+  }
+  return rows;
+}
+
+const std::vector<storage::Pre>* NormalizeUniverse(
+    const std::vector<storage::Pre>& ids,
+    std::vector<storage::Pre>* scratch) {
+  if (std::is_sorted(ids.begin(), ids.end()) &&
+      std::adjacent_find(ids.begin(), ids.end()) == ids.end()) {
+    return &ids;
+  }
+  *scratch = ids;
+  std::sort(scratch->begin(), scratch->end());
+  scratch->erase(std::unique(scratch->begin(), scratch->end()),
+                 scratch->end());
+  return scratch;
+}
+
 void ComplementPerIteration(const std::vector<IterRegion>& context,
                             const std::vector<IterMatch>& matches,
                             const std::vector<storage::Pre>& universe,
@@ -328,16 +354,27 @@ void ComplementPerIteration(const std::vector<IterRegion>& context,
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 void NaiveStandoffJoin(StandoffOp op,
                        const std::vector<AreaAnnotation>& context,
                        const std::vector<AreaAnnotation>& candidates,
                        std::vector<storage::Pre>* out) {
+  NaiveStandoffJoinSpan(op, context, candidates.data(),
+                        candidates.data() + candidates.size(), out);
+}
+
+void NaiveStandoffJoinSpan(StandoffOp op,
+                           const std::vector<AreaAnnotation>& context,
+                           const AreaAnnotation* cand_begin,
+                           const AreaAnnotation* cand_end,
+                           std::vector<storage::Pre>* out) {
   out->clear();
   const bool narrow = IsNarrow(op);
   const bool reject = IsReject(op);
-  for (const AreaAnnotation& cand : candidates) {
+  for (const AreaAnnotation* cand_it = cand_begin; cand_it != cand_end;
+       ++cand_it) {
+    const AreaAnnotation& cand = *cand_it;
     bool matched = false;
     for (const AreaAnnotation& c : context) {
       for (const Region& a : c.regions) {
@@ -366,14 +403,7 @@ Status BasicStandoffJoin(StandoffOp op,
                          const RegionIndex& index,
                          const std::vector<storage::Pre>& candidate_ids,
                          std::vector<storage::Pre>* out) {
-  std::vector<IterRegion> rows;
-  rows.reserve(context.size());
-  for (size_t i = 0; i < context.size(); ++i) {
-    for (const Region& r : context[i].regions) {
-      rows.push_back(
-          IterRegion{0, r.start, r.end, static_cast<uint32_t>(i)});
-    }
-  }
+  const std::vector<IterRegion> rows = detail::SingleIterationRows(context);
   const std::vector<uint32_t> ann_iters(context.size(), 0);
   std::vector<IterMatch> matches;
   STANDOFF_RETURN_IF_ERROR(LoopLiftedStandoffJoin(
@@ -385,15 +415,17 @@ Status BasicStandoffJoin(StandoffOp op,
   return Status::OK();
 }
 
-Status LoopLiftedStandoffJoin(StandoffOp op,
-                              const std::vector<IterRegion>& context,
-                              const std::vector<uint32_t>& ann_iters,
-                              const std::vector<RegionEntry>& candidates,
-                              const RegionIndex& index,
-                              const std::vector<storage::Pre>& candidate_ids,
-                              uint32_t iter_count,
-                              std::vector<IterMatch>* out,
-                              JoinOptions options) {
+namespace {
+
+/// The kernel proper, over a caller-verified start-sorted candidate
+/// span.
+Status LoopLiftedImpl(StandoffOp op, const std::vector<IterRegion>& context,
+                      const std::vector<uint32_t>& ann_iters,
+                      const RegionEntry* cand_begin,
+                      const RegionEntry* cand_end,
+                      const std::vector<storage::Pre>& candidate_ids,
+                      uint32_t iter_count, std::vector<IterMatch>* out,
+                      const JoinOptions& options) {
   out->clear();
   for (const IterRegion& c : context) {
     if (c.iter >= iter_count) {
@@ -408,50 +440,46 @@ Status LoopLiftedStandoffJoin(StandoffOp op,
       return Status::Invalid("context region ends before it starts");
     }
   }
-  // The index's own entry array is sorted by construction; any other
-  // candidate sequence must come in start order for the merge to be valid.
-  if (&candidates != &index.entries() &&
-      !std::is_sorted(candidates.begin(), candidates.end(),
-                      [](const RegionEntry& a, const RegionEntry& b) {
-                        return a.start < b.start;
-                      })) {
-    return Status::Invalid("candidates must be sorted by region start");
-  }
+  const size_t cand_n = static_cast<size_t>(cand_end - cand_begin);
 
+  const auto ctx_less = [](const IterRegion& a, const IterRegion& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  };
   std::vector<IterRegion> ctx(context);
-  std::sort(ctx.begin(), ctx.end(),
-            [](const IterRegion& a, const IterRegion& b) {
-              if (a.start != b.start) return a.start < b.start;
-              return a.end < b.end;
-            });
+  // Already-ordered input (every shard cell of a parallel join re-joins
+  // the same pre-sorted block context) skips the sort.
+  if (!std::is_sorted(ctx.begin(), ctx.end(), ctx_less)) {
+    std::sort(ctx.begin(), ctx.end(), ctx_less);
+  }
 
   PassState state(iter_count, options.prune_contained_contexts);
   std::vector<IterMatch> matches;
   // Heuristic: output is commonly candidate-bounded; pre-sizing keeps the
   // merge loop free of reallocation in the typical case.
-  matches.reserve(candidates.size());
+  matches.reserve(cand_n);
   const bool narrow = IsNarrow(op);
   if (options.active_list == ActiveListKind::kSortedList) {
     if (narrow) {
-      SelectNarrowPass<SortedEndList>(ctx, candidates, &state, options.trace,
-                                      &matches);
+      SelectNarrowPass<SortedEndList>(ctx, cand_begin, cand_n, &state,
+                                      options.trace, &matches);
     } else {
-      SelectWidePass<SortedEndList, SortedEndList>(ctx, candidates, &state,
-                                                   options.trace, &matches);
+      SelectWidePass<SortedEndList, SortedEndList>(
+          ctx, cand_begin, cand_n, &state, options.trace, &matches);
     }
   } else {
     if (narrow) {
-      SelectNarrowPass<EndHeap>(ctx, candidates, &state, options.trace,
-                                &matches);
+      SelectNarrowPass<EndHeap>(ctx, cand_begin, cand_n, &state,
+                                options.trace, &matches);
     } else {
-      SelectWidePass<EndHeap, EndHeap>(ctx, candidates, &state,
+      SelectWidePass<EndHeap, EndHeap>(ctx, cand_begin, cand_n, &state,
                                        options.trace, &matches);
     }
   }
   if (options.stats) {
     options.stats->active_peak = state.active_peak;
     options.stats->contexts_skipped = state.contexts_skipped;
-    options.stats->candidates_scanned = candidates.size();
+    options.stats->candidates_scanned = cand_n;
     options.stats->matches_emitted = state.matches_emitted;
   }
 
@@ -478,20 +506,50 @@ Status LoopLiftedStandoffJoin(StandoffOp op,
   }
 
   // Reject: complement against the candidate universe per iteration.
-  const std::vector<storage::Pre>* universe = &candidate_ids;
-  std::vector<storage::Pre> sorted_universe;
-  if (!std::is_sorted(candidate_ids.begin(), candidate_ids.end()) ||
-      std::adjacent_find(candidate_ids.begin(), candidate_ids.end()) !=
-          candidate_ids.end()) {
-    sorted_universe = candidate_ids;
-    std::sort(sorted_universe.begin(), sorted_universe.end());
-    sorted_universe.erase(
-        std::unique(sorted_universe.begin(), sorted_universe.end()),
-        sorted_universe.end());
-    universe = &sorted_universe;
-  }
-  ComplementPerIteration(ctx, matches, *universe, iter_count, out);
+  std::vector<storage::Pre> scratch;
+  const std::vector<storage::Pre>* universe =
+      detail::NormalizeUniverse(candidate_ids, &scratch);
+  detail::ComplementPerIteration(ctx, matches, *universe, iter_count, out);
   return Status::OK();
+}
+
+}  // namespace
+
+Status LoopLiftedStandoffJoin(StandoffOp op,
+                              const std::vector<IterRegion>& context,
+                              const std::vector<uint32_t>& ann_iters,
+                              const std::vector<RegionEntry>& candidates,
+                              const RegionIndex& index,
+                              const std::vector<storage::Pre>& candidate_ids,
+                              uint32_t iter_count,
+                              std::vector<IterMatch>* out,
+                              JoinOptions options) {
+  out->clear();
+  // The index's own entry array is sorted by construction; any other
+  // candidate sequence must come in start order for the merge to be valid.
+  if (&candidates != &index.entries() &&
+      !std::is_sorted(candidates.begin(), candidates.end(),
+                      [](const RegionEntry& a, const RegionEntry& b) {
+                        return a.start < b.start;
+                      })) {
+    return Status::Invalid("candidates must be sorted by region start");
+  }
+  return LoopLiftedImpl(op, context, ann_iters, candidates.data(),
+                        candidates.data() + candidates.size(), candidate_ids,
+                        iter_count, out, options);
+}
+
+Status LoopLiftedStandoffJoinSpan(StandoffOp op,
+                                  const std::vector<IterRegion>& context,
+                                  const std::vector<uint32_t>& ann_iters,
+                                  const RegionEntry* cand_begin,
+                                  const RegionEntry* cand_end,
+                                  const std::vector<storage::Pre>& candidate_ids,
+                                  uint32_t iter_count,
+                                  std::vector<IterMatch>* out,
+                                  JoinOptions options) {
+  return LoopLiftedImpl(op, context, ann_iters, cand_begin, cand_end,
+                        candidate_ids, iter_count, out, options);
 }
 
 }  // namespace so

@@ -109,6 +109,15 @@ void NaiveStandoffJoin(StandoffOp op,
                        const std::vector<AreaAnnotation>& candidates,
                        std::vector<storage::Pre>* out);
 
+/// Span form: candidates in [cand_begin, cand_end), no copy. Each
+/// annotation is judged independently, so any chunk of a candidate
+/// list yields exactly that chunk's share of the output.
+void NaiveStandoffJoinSpan(StandoffOp op,
+                           const std::vector<AreaAnnotation>& context,
+                           const AreaAnnotation* cand_begin,
+                           const AreaAnnotation* cand_end,
+                           std::vector<storage::Pre>* out);
+
 /// Single-iteration merge join: one pass over `candidates` (sorted by
 /// start, as produced by RegionIndex) per call. `candidate_ids` is the
 /// sorted candidate universe the reject- operators complement against.
@@ -133,6 +142,48 @@ Status LoopLiftedStandoffJoin(StandoffOp op,
                               uint32_t iter_count,
                               std::vector<IterMatch>* out,
                               JoinOptions options = JoinOptions());
+
+/// Span form of the loop-lifted kernel: joins the candidates in
+/// [cand_begin, cand_end) without copying them. The CALLER guarantees
+/// start-sortedness (any chunk of a sorted array qualifies) — it is
+/// not re-verified. Otherwise identical to LoopLiftedStandoffJoin;
+/// this is what the parallel kernel's (block, shard) cells run on.
+Status LoopLiftedStandoffJoinSpan(StandoffOp op,
+                                  const std::vector<IterRegion>& context,
+                                  const std::vector<uint32_t>& ann_iters,
+                                  const RegionEntry* cand_begin,
+                                  const RegionEntry* cand_end,
+                                  const std::vector<storage::Pre>& candidate_ids,
+                                  uint32_t iter_count,
+                                  std::vector<IterMatch>* out,
+                                  JoinOptions options = JoinOptions());
+
+// Pieces of the serial kernel the parallel variants reuse, so the two
+// paths cannot drift apart.
+namespace detail {
+
+/// Context annotations flattened to iteration-0 rows: the shared
+/// single-call form of BasicStandoffJoin and its parallel variant.
+std::vector<IterRegion> SingleIterationRows(
+    const std::vector<AreaAnnotation>& context);
+
+/// Sorted, duplicate-free view of `ids`; `*scratch` is filled only
+/// when the input needs normalizing.
+const std::vector<storage::Pre>* NormalizeUniverse(
+    const std::vector<storage::Pre>& ids,
+    std::vector<storage::Pre>* scratch);
+
+/// Appends, for every iteration with at least one row in `context`,
+/// the candidate universe minus that iteration's select matches.
+/// `matches` must be sorted by (iter, pre) and duplicate-free;
+/// `universe` sorted ascending and duplicate-free.
+void ComplementPerIteration(const std::vector<IterRegion>& context,
+                            const std::vector<IterMatch>& matches,
+                            const std::vector<storage::Pre>& universe,
+                            uint32_t iter_count,
+                            std::vector<IterMatch>* out);
+
+}  // namespace detail
 
 }  // namespace so
 }  // namespace standoff

@@ -1,0 +1,97 @@
+// Parallel variants of the three StandOff join kernels, plus the
+// per-shard region-index builder.
+//
+// The loop-lifted merge pass parallelizes on two independent axes:
+//
+//   * by ITERATION RANGE — iterations [0, iter_count) are split into
+//     contiguous blocks balanced by context-row count; each block joins
+//     only its own context rows, so blocks are independent;
+//   * by CANDIDATE SHARD — the start-sorted candidate array is split
+//     into contiguous chunks; a candidate matches in exactly one chunk
+//     (each chunk task sees the block's full context), so chunk outputs
+//     are disjoint up to duplicate-id entries and merge cleanly.
+//
+// Every (block, shard) cell runs the unchanged serial kernel; cell
+// outputs are merged by packed (iter, pre) key and blocks concatenate
+// in iteration order, so the final result is BYTE-IDENTICAL to the
+// serial kernel's for any thread/shard configuration. reject-* is
+// computed as the matching select pass followed by a per-block
+// complement against the candidate universe — the same canonical form
+// the serial kernel produces.
+#ifndef STANDOFF_STANDOFF_PARALLEL_JOIN_H_
+#define STANDOFF_STANDOFF_PARALLEL_JOIN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "standoff/merge_join.h"
+#include "standoff/region_index.h"
+#include "storage/sharded_store.h"
+
+namespace standoff {
+namespace so {
+
+struct ParallelJoinOptions {
+  /// Null (or zero-worker) pool runs the serial kernel unchanged.
+  ThreadPool* pool = nullptr;
+  /// Number of contiguous iteration blocks; 0 means one per pool
+  /// worker plus the calling thread.
+  uint32_t iter_blocks = 0;
+  /// Number of contiguous candidate shards per block (>= 1).
+  uint32_t candidate_shards = 1;
+  /// Forwarded to each per-cell serial kernel. A non-null `trace`
+  /// forces fully serial execution (trace order is part of the serial
+  /// contract); `stats` receives per-cell sums (max for active_peak).
+  JoinOptions join;
+};
+
+/// Parallel LoopLiftedStandoffJoin. Same contract and identical output
+/// as the serial kernel; see the header comment for the decomposition.
+Status ParallelLoopLiftedStandoffJoin(
+    StandoffOp op, const std::vector<IterRegion>& context,
+    const std::vector<uint32_t>& ann_iters,
+    const std::vector<RegionEntry>& candidates, const RegionIndex& index,
+    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    std::vector<IterMatch>* out, const ParallelJoinOptions& options);
+
+/// Parallel BasicStandoffJoin: the single merge pass split across
+/// candidate shards (there is only one iteration to split).
+Status ParallelBasicStandoffJoin(StandoffOp op,
+                                 const std::vector<AreaAnnotation>& context,
+                                 const std::vector<RegionEntry>& candidates,
+                                 const RegionIndex& index,
+                                 const std::vector<storage::Pre>& candidate_ids,
+                                 std::vector<storage::Pre>* out,
+                                 ThreadPool* pool,
+                                 uint32_t candidate_shards);
+
+/// Parallel NaiveStandoffJoin: the quadratic reference with the
+/// candidate list split across tasks. Annotations are judged
+/// independently in the serial kernel too, so chunked evaluation is
+/// exact; output stays sorted by id and duplicate-free.
+Status ParallelNaiveStandoffJoin(StandoffOp op,
+                                 const std::vector<AreaAnnotation>& context,
+                                 const std::vector<AreaAnnotation>& candidates,
+                                 std::vector<storage::Pre>* out,
+                                 ThreadPool* pool, uint32_t num_tasks);
+
+/// One RegionIndex per document of a ShardedStore, built with one task
+/// per shard. After Build returns, lookups are const and thread-safe.
+class ShardedRegionIndexes {
+ public:
+  static StatusOr<ShardedRegionIndexes> Build(
+      const storage::ShardedStore& store, const StandoffConfig& config,
+      ThreadPool* pool);
+
+  const RegionIndex& index(storage::DocId doc) const { return by_doc_[doc]; }
+  size_t document_count() const { return by_doc_.size(); }
+
+ private:
+  std::vector<RegionIndex> by_doc_;
+};
+
+}  // namespace so
+}  // namespace standoff
+
+#endif  // STANDOFF_STANDOFF_PARALLEL_JOIN_H_

@@ -1,0 +1,19 @@
+#include "storage/sharded_store.h"
+
+namespace standoff {
+namespace storage {
+
+StatusOr<DocId> ShardedStore::AddDocumentText(std::string name,
+                                              std::string_view xml_text) {
+  StatusOr<DocId> doc = store_.AddDocumentText(std::move(name), xml_text);
+  if (!doc.ok()) return doc.status();
+  shard_docs_[shard_of(*doc)].push_back(*doc);
+  return *doc;
+}
+
+Status ShardedStore::SetBlob(DocId doc, std::string blob) {
+  return store_.SetBlob(doc, std::move(blob));
+}
+
+}  // namespace storage
+}  // namespace standoff

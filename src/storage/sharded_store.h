@@ -1,0 +1,57 @@
+// ShardedStore: a DocumentStore partitioned into N shards. Documents
+// are assigned round-robin by DocId (doc % shard_count), the name table
+// stays shared so NameIds compare across shards, and each shard's
+// per-document ElementIndex is built at load time as in DocumentStore.
+// Shards give the parallel execution layer its unit of data
+// parallelism: index construction and per-document joins fan out one
+// task per shard, and shard-local results are merged deterministically
+// in document order.
+#ifndef STANDOFF_STORAGE_SHARDED_STORE_H_
+#define STANDOFF_STORAGE_SHARDED_STORE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/document_store.h"
+
+namespace standoff {
+namespace storage {
+
+class ShardedStore {
+ public:
+  /// `shard_count` must be >= 1; it is fixed for the store's lifetime.
+  explicit ShardedStore(uint32_t shard_count)
+      : shard_docs_(shard_count == 0 ? 1 : shard_count) {}
+
+  /// Parses and shreds like DocumentStore::AddDocumentText, then files
+  /// the new document under shard `doc % shard_count`.
+  StatusOr<DocId> AddDocumentText(std::string name, std::string_view xml_text);
+
+  Status SetBlob(DocId doc, std::string blob);
+
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(shard_docs_.size());
+  }
+  uint32_t shard_of(DocId doc) const { return doc % shard_count(); }
+
+  /// The ids of this shard's documents, in document (load) order.
+  const std::vector<DocId>& shard_docs(uint32_t shard) const {
+    return shard_docs_[shard];
+  }
+
+  /// The underlying store: shared name table, node tables, per-document
+  /// element indexes. Const access is thread-safe once loading is done.
+  const DocumentStore& store() const { return store_; }
+  size_t document_count() const { return store_.document_count(); }
+
+ private:
+  DocumentStore store_;
+  std::vector<std::vector<DocId>> shard_docs_;
+};
+
+}  // namespace storage
+}  // namespace standoff
+
+#endif  // STANDOFF_STORAGE_SHARDED_STORE_H_

@@ -63,6 +63,54 @@ std::vector<size_t> IterOffsets(const std::vector<Row>& rows,
   return offsets;
 }
 
+/// The per-iteration execution pattern shared by the basic and UDF
+/// modes: split `context` into consecutive same-iteration runs, invoke
+/// `join_one(iter, iter_context, fanout, out)` per run — fanned across
+/// the pool when there are several runs, with intra-join fanout
+/// `single_group_fanout` when there is only one — and concatenate the
+/// per-run outputs in iteration order (identical to the serial order).
+Status RunIterationGroups(
+    ThreadPool* pool, const std::vector<so::IterRegion>& context,
+    uint32_t single_group_fanout,
+    const std::function<Status(uint32_t, const std::vector<so::AreaAnnotation>&,
+                               uint32_t, std::vector<so::IterMatch>*)>&
+        join_one,
+    std::vector<so::IterMatch>* matches) {
+  std::vector<std::pair<size_t, size_t>> groups;
+  size_t begin = 0;
+  while (begin < context.size()) {
+    size_t end = begin;
+    while (end < context.size() && context[end].iter == context[begin].iter) {
+      ++end;
+    }
+    groups.emplace_back(begin, end);
+    begin = end;
+  }
+
+  std::vector<std::vector<so::IterMatch>> group_out(groups.size());
+  auto run_group = [&](size_t g, uint32_t fanout) -> Status {
+    const auto [lo, hi] = groups[g];
+    std::vector<so::AreaAnnotation> iter_context;
+    iter_context.reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      iter_context.push_back(so::AreaAnnotation{
+          0, {so::Region{context[i].start, context[i].end}}});
+    }
+    return join_one(context[lo].iter, iter_context, fanout, &group_out[g]);
+  };
+  if (groups.size() == 1 && pool) {
+    STANDOFF_RETURN_IF_ERROR(run_group(0, single_group_fanout));
+  } else {
+    STANDOFF_RETURN_IF_ERROR(ParallelFor(
+        pool, 0, groups.size(),
+        [&](size_t g) { return run_group(g, /*fanout=*/1); }));
+  }
+  for (const std::vector<so::IterMatch>& g : group_out) {
+    matches->insert(matches->end(), g.begin(), g.end());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status Engine::CheckDeadline() const {
@@ -278,6 +326,17 @@ Status Engine::ApplyPredicate(const Expr& pred, Lifted* rows) {
   return Status::OK();
 }
 
+ThreadPool* Engine::ExecPool() {
+  const size_t workers =
+      options_.exec.num_threads <= 1 ? 0 : options_.exec.num_threads - 1;
+  if (workers == 0) return nullptr;
+  if (!pool_ || pool_workers_ != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+    pool_workers_ = workers;
+  }
+  return pool_.get();
+}
+
 StatusOr<const so::RegionIndex*> Engine::GetIndex(storage::DocId doc) {
   return index_cache_.Get(*store_, doc, standoff_config_);
 }
@@ -363,17 +422,21 @@ Status Engine::StandoffLoopLifted(so::StandoffOp op, storage::DocId doc,
   if (!index.ok()) return index.status();
   std::vector<uint32_t> ann_iters(context.size());
   for (const so::IterRegion& c : context) ann_iters[c.ann] = c.iter;
+  so::ParallelJoinOptions parallel;
+  parallel.pool = ExecPool();
+  parallel.iter_blocks = options_.exec.num_threads;
+  parallel.candidate_shards = options_.exec.shard_count;
+  parallel.join = options_.join;
   if (step.any_name) {
-    return so::LoopLiftedStandoffJoin(
+    return so::ParallelLoopLiftedStandoffJoin(
         op, context, ann_iters, (*index)->entries(), **index,
-        (*index)->annotated_ids(), iter_count, matches, options_.join);
+        (*index)->annotated_ids(), iter_count, matches, parallel);
   }
   StatusOr<const CandidateSet*> candidates = GetCandidates(doc, step);
   if (!candidates.ok()) return candidates.status();
-  return so::LoopLiftedStandoffJoin(op, context, ann_iters,
-                                    (*candidates)->entries, **index,
-                                    (*candidates)->ids, iter_count, matches,
-                                    options_.join);
+  return so::ParallelLoopLiftedStandoffJoin(
+      op, context, ann_iters, (*candidates)->entries, **index,
+      (*candidates)->ids, iter_count, matches, parallel);
 }
 
 Status Engine::StandoffBasicPerIteration(
@@ -384,29 +447,29 @@ Status Engine::StandoffBasicPerIteration(
   if (!index.ok()) return index.status();
   // One BasicStandoffJoin call per loop iteration, each re-scanning the
   // full region index; the name test filters afterwards (no pushdown).
-  size_t begin = 0;
-  while (begin < context.size()) {
-    STANDOFF_RETURN_IF_ERROR(CheckDeadline());
-    const uint32_t iter = context[begin].iter;
-    size_t end = begin;
-    std::vector<so::AreaAnnotation> iter_context;
-    while (end < context.size() && context[end].iter == iter) {
-      iter_context.push_back(so::AreaAnnotation{
-          0, {so::Region{context[end].start, context[end].end}}});
-      ++end;
-    }
-    std::vector<storage::Pre> pres;
-    STANDOFF_RETURN_IF_ERROR(
-        BasicStandoffJoin(op, iter_context, (*index)->entries(), **index,
-                          (*index)->annotated_ids(), &pres));
-    for (storage::Pre pre : pres) {
-      if (NameMatches(step, doc, pre)) {
-        matches->push_back(so::IterMatch{iter, pre});
-      }
-    }
-    begin = end;
-  }
-  return Status::OK();
+  // With a pool, iterations fan out across it; a lone iteration instead
+  // splits its merge pass across candidate shards.
+  ThreadPool* pool = ExecPool();
+  return RunIterationGroups(
+      pool, context,
+      std::max<uint32_t>(options_.exec.shard_count,
+                         options_.exec.num_threads),
+      [&](uint32_t iter, const std::vector<so::AreaAnnotation>& iter_context,
+          uint32_t fanout, std::vector<so::IterMatch>* out) -> Status {
+        STANDOFF_RETURN_IF_ERROR(CheckDeadline());
+        std::vector<storage::Pre> pres;
+        STANDOFF_RETURN_IF_ERROR(so::ParallelBasicStandoffJoin(
+            op, iter_context, (*index)->entries(), **index,
+            (*index)->annotated_ids(), &pres, fanout > 1 ? pool : nullptr,
+            fanout));
+        for (storage::Pre pre : pres) {
+          if (NameMatches(step, doc, pre)) {
+            out->push_back(so::IterMatch{iter, pre});
+          }
+        }
+        return Status::OK();
+      },
+      matches);
 }
 
 Status Engine::StandoffUdfPerIteration(
@@ -429,48 +492,48 @@ Status Engine::StandoffUdfPerIteration(
     candidate_pres = &all_elements;
   }
 
-  size_t begin = 0;
-  while (begin < context.size()) {
-    STANDOFF_RETURN_IF_ERROR(CheckDeadline());
-    const uint32_t iter = context[begin].iter;
-    size_t end = begin;
-    std::vector<so::AreaAnnotation> iter_context;
-    while (end < context.size() && context[end].iter == iter) {
-      iter_context.push_back(so::AreaAnnotation{
-          0, {so::Region{context[end].start, context[end].end}}});
-      ++end;
-    }
-    // The XQuery-function formulation re-derives every candidate region
-    // from its attribute strings on each invocation — nothing is indexed
-    // or reused across iterations.
-    std::vector<so::AreaAnnotation> candidates;
-    candidates.reserve(candidate_pres->size());
-    for (storage::Pre pre : *candidate_pres) {
-      if (config.start_attr == storage::kInvalidName ||
-          config.end_attr == storage::kInvalidName) {
-        break;
-      }
-      auto [has_start, start_text] = table.FindAttribute(pre, config.start_attr);
-      if (!has_start) continue;
-      auto [has_end, end_text] = table.FindAttribute(pre, config.end_attr);
-      if (!has_end) continue;
-      int64_t rs, re;
-      if (!so::ParseRegionValue(start_text, &rs) ||
-          !so::ParseRegionValue(end_text, &re)) {
-        continue;
-      }
-      candidates.push_back(so::AreaAnnotation{pre, {so::Region{rs, re}}});
-    }
-    std::vector<storage::Pre> pres;
-    so::NaiveStandoffJoin(op, iter_context, candidates, &pres);
-    for (storage::Pre pre : pres) {
-      if (NameMatches(step, doc, pre)) {
-        matches->push_back(so::IterMatch{iter, pre});
-      }
-    }
-    begin = end;
-  }
-  return Status::OK();
+  // A lone iteration splits the quadratic candidate scan instead of
+  // the iteration loop.
+  ThreadPool* pool = ExecPool();
+  return RunIterationGroups(
+      pool, context, options_.exec.num_threads,
+      [&](uint32_t iter, const std::vector<so::AreaAnnotation>& iter_context,
+          uint32_t fanout, std::vector<so::IterMatch>* out) -> Status {
+        STANDOFF_RETURN_IF_ERROR(CheckDeadline());
+        // The XQuery-function formulation re-derives every candidate
+        // region from its attribute strings on each invocation —
+        // nothing is indexed or reused across iterations.
+        std::vector<so::AreaAnnotation> candidates;
+        candidates.reserve(candidate_pres->size());
+        for (storage::Pre pre : *candidate_pres) {
+          if (config.start_attr == storage::kInvalidName ||
+              config.end_attr == storage::kInvalidName) {
+            break;
+          }
+          auto [has_start, start_text] =
+              table.FindAttribute(pre, config.start_attr);
+          if (!has_start) continue;
+          auto [has_end, end_text] = table.FindAttribute(pre, config.end_attr);
+          if (!has_end) continue;
+          int64_t rs, re;
+          if (!so::ParseRegionValue(start_text, &rs) ||
+              !so::ParseRegionValue(end_text, &re)) {
+            continue;
+          }
+          candidates.push_back(so::AreaAnnotation{pre, {so::Region{rs, re}}});
+        }
+        std::vector<storage::Pre> pres;
+        STANDOFF_RETURN_IF_ERROR(so::ParallelNaiveStandoffJoin(
+            op, iter_context, candidates, &pres, fanout > 1 ? pool : nullptr,
+            fanout));
+        for (storage::Pre pre : pres) {
+          if (NameMatches(step, doc, pre)) {
+            out->push_back(so::IterMatch{iter, pre});
+          }
+        }
+        return Status::OK();
+      },
+      matches);
 }
 
 Status Engine::EvalFor(const Expr& expr, const Env& env, uint32_t iter_count,

@@ -11,13 +11,16 @@
 #define STANDOFF_XQUERY_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "standoff/merge_join.h"
+#include "standoff/parallel_join.h"
 #include "standoff/region_index.h"
 #include "storage/document_store.h"
 #include "xquery/algebra.h"
@@ -44,10 +47,23 @@ enum class StandoffMode {
 
 const char* StandoffModeName(StandoffMode mode);
 
+/// Parallel-execution knob, honored by all four StandoffModes: the
+/// loop-lifted kernel splits its merge pass into `num_threads`
+/// iteration blocks × `shard_count` candidate shards; the per-iteration
+/// modes (basic, both UDF forms) fan their iteration loop out across
+/// the pool. Results are identical to serial execution for every
+/// setting — the parallel kernels merge deterministically in
+/// (iter, pre) order.
+struct ExecOptions {
+  uint32_t num_threads = 1;  // total threads incl. the caller; 1 = serial
+  uint32_t shard_count = 1;  // candidate shards per parallel join
+};
+
 struct EngineOptions {
   /// Per-Evaluate wall-clock budget in seconds; <= 0 means unlimited.
   double timeout_seconds = 0;
   so::JoinOptions join;  // forwarded to the merge-join kernels
+  ExecOptions exec;
 };
 
 class Engine {
@@ -110,6 +126,11 @@ class Engine {
   bool NameMatches(const Step& step, storage::DocId doc,
                    storage::Pre pre) const;
 
+  /// The worker pool backing ExecOptions::num_threads, created lazily
+  /// and resized when the option changes. Null when execution is
+  /// serial.
+  ThreadPool* ExecPool();
+
   const storage::DocumentStore* store_;
   StandoffMode mode_ = StandoffMode::kLoopLifted;
   EngineOptions options_;
@@ -117,6 +138,8 @@ class Engine {
   so::RegionIndexCache index_cache_;
   std::map<std::pair<storage::DocId, std::string>, CandidateSet>
       candidate_cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  size_t pool_workers_ = 0;
   Timer deadline_timer_;
   double deadline_seconds_ = 0;  // active budget for the running Evaluate
 };

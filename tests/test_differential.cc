@@ -1,0 +1,197 @@
+// Randomized differential test: every kernel (naive, basic,
+// loop-lifted, and their parallel variants), every StandOff axis, and
+// every thread/shard configuration must reproduce the brute-force
+// oracle's (iter, pre) output byte for byte on seeded random corpora.
+//
+// The corpora deliberately cover the adversarial shapes: empty
+// candidate sets, single entries, zero-width regions, duplicate
+// boundaries, heavily nested intervals, and iterations without
+// context.
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "standoff/merge_join.h"
+#include "standoff/parallel_join.h"
+#include "tests/harness.h"
+#include "tests/oracle.h"
+
+using namespace standoff;
+using so::IterMatch;
+using so::IterRegion;
+using so::RegionEntry;
+using storage::Pre;
+
+namespace {
+
+constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr uint32_t kShardCounts[] = {1, 2, 7};
+
+struct Workload {
+  so::RegionIndex index;
+  std::vector<so::AreaAnnotation> candidate_annotations;
+  std::vector<IterRegion> context;
+  std::vector<uint32_t> ann_iters;
+  std::map<uint32_t, std::vector<so::AreaAnnotation>> context_per_iter;
+  uint32_t iter_count = 0;
+};
+
+Workload MakeWorkload(uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  const int64_t universe = 600;
+  // Sweep the degenerate corpus shapes alongside the generic ones.
+  size_t candidates = 20 + static_cast<size_t>(rng.UniformRange(0, 100));
+  if (seed % 5 == 0) candidates = 0;
+  if (seed % 7 == 0) candidates = 1;
+  const bool zero_width_heavy = seed % 3 == 0;
+  const bool nested_heavy = seed % 4 == 0;
+
+  std::vector<RegionEntry> entries;
+  for (size_t i = 0; i < candidates; ++i) {
+    int64_t start = rng.UniformRange(0, universe);
+    int64_t width = zero_width_heavy && rng.UniformRange(0, 1) == 0
+                        ? 0
+                        : rng.UniformRange(0, 60);
+    if (nested_heavy && i > 0 && rng.UniformRange(0, 1) == 0) {
+      // Nest inside the previous entry when possible.
+      const RegionEntry& prev = entries.back();
+      start = rng.UniformRange(prev.start, prev.end);
+      width = rng.UniformRange(0, std::max<int64_t>(prev.end - start, 0));
+    }
+    entries.push_back(
+        RegionEntry{start, start + width, static_cast<Pre>(i + 2)});
+  }
+  w.index = so::RegionIndex::FromEntries(std::move(entries));
+  for (const RegionEntry& e : w.index.entries()) {
+    w.candidate_annotations.push_back(
+        so::AreaAnnotation{e.id, {{e.start, e.end}}});
+  }
+
+  w.iter_count = static_cast<uint32_t>(1 + rng.UniformRange(0, 9));
+  const size_t rows = static_cast<size_t>(rng.UniformRange(0, 29));
+  for (size_t i = 0; i < rows; ++i) {
+    const uint32_t iter =
+        static_cast<uint32_t>(rng.UniformRange(0, w.iter_count - 1));
+    const int64_t start = rng.UniformRange(0, universe);
+    const int64_t end = start + rng.UniformRange(0, 150);
+    const uint32_t ann = static_cast<uint32_t>(w.ann_iters.size());
+    w.ann_iters.push_back(iter);
+    w.context.push_back(IterRegion{iter, start, end, ann});
+    w.context_per_iter[iter].push_back(
+        so::AreaAnnotation{ann, {{start, end}}});
+  }
+  return w;
+}
+
+/// pools[t] drives a t-thread configuration: t - 1 workers plus the
+/// calling thread; t == 1 maps to no pool (serial).
+ThreadPool* PoolFor(std::map<uint32_t, std::unique_ptr<ThreadPool>>& pools,
+                    uint32_t threads) {
+  if (threads <= 1) return nullptr;
+  auto& slot = pools[threads];
+  if (!slot) slot = std::make_unique<ThreadPool>(threads - 1);
+  return slot.get();
+}
+
+std::vector<IterMatch> AssemblePerIteration(
+    const Workload& w, so::StandoffOp op, ThreadPool* pool,
+    uint32_t shards, bool naive) {
+  std::vector<IterMatch> out;
+  for (const auto& [iter, annotations] : w.context_per_iter) {
+    std::vector<Pre> pres;
+    if (naive) {
+      CHECK_OK(so::ParallelNaiveStandoffJoin(op, annotations,
+                                             w.candidate_annotations, &pres,
+                                             pool, shards));
+    } else {
+      CHECK_OK(so::ParallelBasicStandoffJoin(
+          op, annotations, w.index.entries(), w.index,
+          w.index.annotated_ids(), &pres, pool, shards));
+    }
+    for (Pre pre : pres) out.push_back(IterMatch{iter, pre});
+  }
+  return out;
+}
+
+}  // namespace
+
+static void TestDifferential() {
+  const so::StandoffOp kOps[] = {
+      so::StandoffOp::kSelectNarrow, so::StandoffOp::kSelectWide,
+      so::StandoffOp::kRejectNarrow, so::StandoffOp::kRejectWide};
+  std::map<uint32_t, std::unique_ptr<ThreadPool>> pools;
+  int comparisons = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    const Workload w = MakeWorkload(seed);
+    for (so::StandoffOp op : kOps) {
+      const std::vector<IterMatch> oracle = test::OracleStandoffJoin(
+          op, w.context, w.index.entries(), w.index.annotated_ids(),
+          w.iter_count);
+
+      // Serial loop-lifted kernel, both active structures.
+      for (so::ActiveListKind kind :
+           {so::ActiveListKind::kSortedList, so::ActiveListKind::kEndHeap}) {
+        so::JoinOptions join;
+        join.active_list = kind;
+        std::vector<IterMatch> lifted;
+        CHECK_OK(so::LoopLiftedStandoffJoin(
+            op, w.context, w.ann_iters, w.index.entries(), w.index,
+            w.index.annotated_ids(), w.iter_count, &lifted, join));
+        CHECK(lifted == oracle);
+        ++comparisons;
+      }
+
+      // Parallel loop-lifted kernel across the full thread/shard grid.
+      for (uint32_t threads : kThreadCounts) {
+        for (uint32_t shards : kShardCounts) {
+          so::ParallelJoinOptions options;
+          options.pool = PoolFor(pools, threads);
+          options.iter_blocks = threads;
+          options.candidate_shards = shards;
+          if (threads == 8 && shards == 7) {
+            options.join.active_list = so::ActiveListKind::kEndHeap;
+          }
+          std::vector<IterMatch> lifted;
+          CHECK_OK(so::ParallelLoopLiftedStandoffJoin(
+              op, w.context, w.ann_iters, w.index.entries(), w.index,
+              w.index.annotated_ids(), w.iter_count, &lifted, options));
+          if (!(lifted == oracle)) {
+            std::fprintf(stderr,
+                         "parallel lifted mismatch: seed=%llu op=%s "
+                         "threads=%u shards=%u (got %zu want %zu rows)\n",
+                         static_cast<unsigned long long>(seed),
+                         so::StandoffOpName(op), threads, shards,
+                         lifted.size(), oracle.size());
+            CHECK(lifted == oracle);
+          }
+          ++comparisons;
+        }
+      }
+
+      // Per-iteration basic merge join, serial and candidate-sharded.
+      for (uint32_t shards : kShardCounts) {
+        const std::vector<IterMatch> basic = AssemblePerIteration(
+            w, op, shards > 1 ? PoolFor(pools, 4) : nullptr, shards,
+            /*naive=*/false);
+        CHECK(basic == oracle);
+        ++comparisons;
+      }
+
+      // Quadratic naive reference, serial and chunked.
+      for (uint32_t threads : {1u, 4u}) {
+        const std::vector<IterMatch> naive = AssemblePerIteration(
+            w, op, PoolFor(pools, threads), threads, /*naive=*/true);
+        CHECK(naive == oracle);
+        ++comparisons;
+      }
+    }
+  }
+  CHECK_EQ(comparisons, 30 * 4 * (2 + 12 + 3 + 2));
+}
+
+int main() {
+  RUN_TEST(TestDifferential);
+  TEST_MAIN();
+}

@@ -1,0 +1,158 @@
+// Regression tests for the empty-input edge cases on EVERY kernel:
+// an empty candidate list, an empty region index, or an empty context
+// must return OK with zero rows (for selects; rejects additionally
+// yield zero rows whenever the universe is empty) on the naive, basic,
+// loop-lifted, and parallel paths alike — previously only the
+// loop-lifted path was exercised.
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "standoff/merge_join.h"
+#include "standoff/parallel_join.h"
+#include "tests/harness.h"
+
+using namespace standoff;
+using so::IterMatch;
+using so::IterRegion;
+using storage::Pre;
+
+namespace {
+
+const std::vector<so::AreaAnnotation> kSomeContext = {
+    {0, {{10, 50}}},
+    {0, {{60, 90}}},
+};
+
+const std::vector<IterRegion> kSomeIterContext = {
+    {0, 10, 50, 0},
+    {1, 60, 90, 1},
+};
+const std::vector<uint32_t> kSomeAnnIters = {0, 1};
+
+}  // namespace
+
+static void TestNaiveEmptyInputs() {
+  for (so::StandoffOp op :
+       {so::StandoffOp::kSelectNarrow, so::StandoffOp::kSelectWide,
+        so::StandoffOp::kRejectNarrow, so::StandoffOp::kRejectWide}) {
+    std::vector<Pre> out = {99};  // must be cleared
+    so::NaiveStandoffJoin(op, kSomeContext, {}, &out);
+    CHECK(out.empty());
+    out = {99};
+    so::NaiveStandoffJoin(op, {}, {}, &out);
+    CHECK(out.empty());
+  }
+  // Empty context with candidates: selects empty; naive reject keeps
+  // every unmatched candidate.
+  std::vector<so::AreaAnnotation> candidates = {{7, {{1, 2}}}};
+  std::vector<Pre> out;
+  so::NaiveStandoffJoin(so::StandoffOp::kSelectWide, {}, candidates, &out);
+  CHECK(out.empty());
+}
+
+static void TestBasicEmptyInputs() {
+  so::RegionIndex empty_index;
+  for (so::StandoffOp op :
+       {so::StandoffOp::kSelectNarrow, so::StandoffOp::kSelectWide,
+        so::StandoffOp::kRejectNarrow, so::StandoffOp::kRejectWide}) {
+    std::vector<Pre> out = {99};
+    CHECK_OK(so::BasicStandoffJoin(op, kSomeContext, empty_index.entries(),
+                                   empty_index, empty_index.annotated_ids(),
+                                   &out));
+    CHECK(out.empty());
+    out = {99};
+    CHECK_OK(so::BasicStandoffJoin(op, {}, empty_index.entries(),
+                                   empty_index, empty_index.annotated_ids(),
+                                   &out));
+    CHECK(out.empty());
+  }
+}
+
+static void TestLoopLiftedEmptyInputs() {
+  so::RegionIndex empty_index;
+  for (so::StandoffOp op :
+       {so::StandoffOp::kSelectNarrow, so::StandoffOp::kSelectWide,
+        so::StandoffOp::kRejectNarrow, so::StandoffOp::kRejectWide}) {
+    std::vector<IterMatch> out = {{3, 3}};
+    CHECK_OK(so::LoopLiftedStandoffJoin(
+        op, kSomeIterContext, kSomeAnnIters, empty_index.entries(),
+        empty_index, empty_index.annotated_ids(), 2, &out));
+    CHECK(out.empty());
+    out = {{3, 3}};
+    CHECK_OK(so::LoopLiftedStandoffJoin(op, {}, {}, empty_index.entries(),
+                                        empty_index,
+                                        empty_index.annotated_ids(), 0, &out));
+    CHECK(out.empty());
+  }
+}
+
+static void TestParallelEmptyInputs() {
+  so::RegionIndex empty_index;
+  ThreadPool pool(3);
+  for (so::StandoffOp op :
+       {so::StandoffOp::kSelectNarrow, so::StandoffOp::kSelectWide,
+        so::StandoffOp::kRejectNarrow, so::StandoffOp::kRejectWide}) {
+    so::ParallelJoinOptions options;
+    options.pool = &pool;
+    options.iter_blocks = 4;
+    options.candidate_shards = 7;
+    std::vector<IterMatch> out = {{3, 3}};
+    CHECK_OK(so::ParallelLoopLiftedStandoffJoin(
+        op, kSomeIterContext, kSomeAnnIters, empty_index.entries(),
+        empty_index, empty_index.annotated_ids(), 2, &out, options));
+    CHECK(out.empty());
+    out = {{3, 3}};
+    CHECK_OK(so::ParallelLoopLiftedStandoffJoin(
+        op, {}, {}, empty_index.entries(), empty_index,
+        empty_index.annotated_ids(), 4, &out, options));
+    CHECK(out.empty());
+
+    std::vector<Pre> pres = {99};
+    CHECK_OK(so::ParallelBasicStandoffJoin(
+        op, kSomeContext, empty_index.entries(), empty_index,
+        empty_index.annotated_ids(), &pres, &pool, 7));
+    CHECK(pres.empty());
+    pres = {99};
+    CHECK_OK(so::ParallelNaiveStandoffJoin(op, kSomeContext, {}, &pres,
+                                           &pool, 4));
+    CHECK(pres.empty());
+  }
+}
+
+static void TestInvalidInputsStillRejected() {
+  // Parallel validation must mirror the serial kernel: bad context rows
+  // and globally unsorted candidate sequences are errors, including a
+  // sort violation sitting exactly on a shard boundary.
+  so::RegionIndex index = so::RegionIndex::FromEntries(
+      {{10, 20, 2}, {30, 40, 3}, {50, 60, 4}, {70, 80, 5}});
+  ThreadPool pool(3);
+  so::ParallelJoinOptions options;
+  options.pool = &pool;
+  options.iter_blocks = 2;
+  options.candidate_shards = 2;
+  std::vector<IterMatch> out;
+
+  // Context row ends before it starts.
+  Status st = so::ParallelLoopLiftedStandoffJoin(
+      so::StandoffOp::kSelectNarrow, {{0, 50, 10, 0}}, {0}, index.entries(),
+      index, index.annotated_ids(), 1, &out, options);
+  CHECK(!st.ok());
+
+  // Unsorted external candidate sequence (violation on the chunk
+  // boundary: each half is sorted, the whole is not).
+  const std::vector<so::RegionEntry> unsorted = {
+      {30, 40, 3}, {50, 60, 4}, {10, 20, 2}, {70, 80, 5}};
+  st = so::ParallelLoopLiftedStandoffJoin(
+      so::StandoffOp::kSelectNarrow, kSomeIterContext, kSomeAnnIters,
+      unsorted, index, index.annotated_ids(), 2, &out, options);
+  CHECK(!st.ok());
+}
+
+int main() {
+  RUN_TEST(TestNaiveEmptyInputs);
+  RUN_TEST(TestBasicEmptyInputs);
+  RUN_TEST(TestLoopLiftedEmptyInputs);
+  RUN_TEST(TestParallelEmptyInputs);
+  RUN_TEST(TestInvalidInputsStillRejected);
+  TEST_MAIN();
+}
