@@ -1,0 +1,86 @@
+// Galloping vs. linear merging across region-distribution shapes: the
+// skip-based columnar kernel must turn sparse and skewed workloads
+// output-bounded (time tracking matches, not index size) while staying
+// within noise of the non-skipping merge on dense tilings.
+//
+// Grid: {uniform, clustered, zipf} candidate distributions ×
+// {sparse 1%, medium 20%, dense 100%} context coverage ×
+// {gallop, linear}. Counters record how much of the index each
+// configuration actually probed.
+
+#include <benchmark/benchmark.h>
+
+#include "skew_workloads.h"
+#include "standoff/merge_join.h"
+
+namespace {
+
+using namespace standoff;
+
+void RunSkewJoin(benchmark::State& state, so::StandoffOp op) {
+  const auto shape = static_cast<benchdata::CandidateShape>(state.range(0));
+  const int64_t permille = state.range(1);
+  const bool gallop = state.range(2) == 1;
+  const size_t candidates = 200000;
+  const uint32_t iters = 64;
+  benchdata::SkewWorkload w =
+      benchdata::MakeSkewWorkload(shape, candidates, iters, permille);
+
+  so::JoinArena arena;
+  so::JoinStats stats;
+  size_t rows = 0;
+  std::vector<so::IterMatch> out;
+  for (auto _ : state) {
+    so::JoinOptions options;
+    options.gallop = gallop;
+    options.arena = &arena;
+    options.stats = &stats;
+    auto st = so::LoopLiftedStandoffJoinColumns(
+        op, w.context, w.ann_iters, w.index.columns(), w.candidate_ids,
+        w.iter_count, &out, options);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    rows = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["cand_probed"] = static_cast<double>(stats.candidates_scanned);
+  state.counters["cand_skipped"] =
+      static_cast<double>(stats.candidates_skipped);
+  state.counters["cand_rows_per_s"] = benchmark::Counter(
+      static_cast<double>(candidates) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SkewSelectNarrow(benchmark::State& state) {
+  RunSkewJoin(state, so::StandoffOp::kSelectNarrow);
+}
+
+void BM_SkewSelectWide(benchmark::State& state) {
+  RunSkewJoin(state, so::StandoffOp::kSelectWide);
+}
+
+void SkewGrid(benchmark::internal::Benchmark* b) {
+  for (int shape = 0; shape <= 2; ++shape) {
+    for (int64_t permille : {10, 200, 1000}) {
+      for (int gallop : {1, 0}) {
+        b->Args({shape, permille, gallop});
+      }
+    }
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+}  // namespace
+
+// {shape: 0=uniform 1=clustered 2=zipf, coverage permille, gallop}
+BENCHMARK(BM_SkewSelectNarrow)->Apply(SkewGrid);
+BENCHMARK(BM_SkewSelectWide)
+    ->Args({0, 10, 1})
+    ->Args({0, 10, 0})
+    ->Args({1, 10, 1})
+    ->Args({1, 10, 0})
+    ->Args({0, 1000, 1})
+    ->Args({0, 1000, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -3,6 +3,12 @@
 # them into BENCH_results.json at the repo root, so the performance
 # trajectory is machine-readable PR over PR.
 #
+# Refuses to record numbers from a non-Release build: unoptimized
+# timings are misleading and have silently polluted results files in
+# other projects. Set STANDOFF_BENCH_ALLOW_NON_RELEASE=1 to override
+# (the results then still carry the real build type in the JSON
+# context emitted by google-benchmark).
+#
 # Usage: bench/run_bench.sh [build-dir] [extra google-benchmark flags...]
 set -euo pipefail
 
@@ -13,8 +19,22 @@ OUT="$REPO_ROOT/BENCH_results.json"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
+CACHE="$BUILD_DIR/CMakeCache.txt"
+BUILD_TYPE=""
+if [[ -f "$CACHE" ]]; then
+  BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")"
+fi
+if [[ "$BUILD_TYPE" != "Release" &&
+      "${STANDOFF_BENCH_ALLOW_NON_RELEASE:-0}" != "1" ]]; then
+  echo "refusing to benchmark a '${BUILD_TYPE:-unknown}' build in" \
+       "$BUILD_DIR (need CMAKE_BUILD_TYPE=Release; set" \
+       "STANDOFF_BENCH_ALLOW_NON_RELEASE=1 to override)" >&2
+  exit 1
+fi
+
 BENCHES=(bench_mergejoin_micro bench_parallel_scaling
-         bench_ablation_active_list bench_ablation_pushdown bench_loading)
+         bench_ablation_active_list bench_ablation_pushdown bench_loading
+         bench_skew_sparsity)
 
 ran=0
 for bench in "${BENCHES[@]}"; do

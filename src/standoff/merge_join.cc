@@ -17,7 +17,31 @@ const char* StandoffOpName(StandoffOp op) {
   return "?";
 }
 
+JoinArena* JoinArenaPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_.empty()) {
+    JoinArena* arena = free_.back();
+    free_.pop_back();
+    return arena;
+  }
+  all_.push_back(std::make_unique<JoinArena>());
+  return all_.back().get();
+}
+
+void JoinArenaPool::Release(JoinArena* arena) {
+  if (arena == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(arena);
+}
+
+size_t JoinArenaPool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_.size();
+}
+
 namespace {
+
+using detail::ActiveItem;
 
 bool IsNarrow(StandoffOp op) {
   return op == StandoffOp::kSelectNarrow || op == StandoffOp::kRejectNarrow;
@@ -26,16 +50,6 @@ bool IsNarrow(StandoffOp op) {
 bool IsReject(StandoffOp op) {
   return op == StandoffOp::kRejectNarrow || op == StandoffOp::kRejectWide;
 }
-
-/// One active region. `id` is the candidate node for candidate items and
-/// unused (0) for context items; `iter` is the loop iteration for context
-/// items and unused for candidates.
-struct ActiveItem {
-  int64_t end = 0;
-  int64_t start = 0;
-  uint32_t iter = 0;
-  storage::Pre id = 0;
-};
 
 std::string RegionLabel(int64_t start, int64_t end) {
   char buf[48];
@@ -50,12 +64,28 @@ std::string CtxLabel(uint32_t iter, int64_t start, int64_t end) {
          RegionLabel(start, end) + ")";
 }
 
+/// First index in [lo, hi) whose start is >= v: an exponential probe
+/// brackets the run, then a binary search pins it, so the cost is
+/// logarithmic in the DISTANCE skipped, not in the array size.
+size_t GallopLowerBound(const int64_t* a, size_t lo, size_t hi, int64_t v) {
+  size_t bound = 1;
+  while (lo + bound < hi && a[lo + bound] < v) bound <<= 1;
+  const size_t search_lo = lo + (bound >> 1);
+  const size_t search_hi = std::min(hi, lo + bound + 1);
+  return static_cast<size_t>(
+      std::lower_bound(a + search_lo, a + search_hi, v) - a);
+}
+
 /// Active set as a vector sorted ascending by region end, with a lazy
 /// head offset so retiring expired items is O(1) amortized. Insertion
 /// into the middle is O(active) — the cost the kEndHeap variant trades
-/// against.
+/// against. Storage is the caller's (arena) vector; capacity persists.
 class SortedEndList {
  public:
+  explicit SortedEndList(std::vector<ActiveItem>* storage) : v_(*storage) {
+    v_.clear();
+  }
+
   void Insert(const ActiveItem& item) {
     auto it = std::upper_bound(
         v_.begin() + static_cast<ptrdiff_t>(head_), v_.end(), item.end,
@@ -91,9 +121,10 @@ class SortedEndList {
   }
 
   size_t size() const { return v_.size() - head_; }
+  bool empty() const { return head_ == v_.size(); }
 
  private:
-  std::vector<ActiveItem> v_;
+  std::vector<ActiveItem>& v_;
   size_t head_ = 0;
 };
 
@@ -101,6 +132,10 @@ class SortedEndList {
 /// but every probe scans the whole heap.
 class EndHeap {
  public:
+  explicit EndHeap(std::vector<ActiveItem>* storage) : heap_(*storage) {
+    heap_.clear();
+  }
+
   void Insert(const ActiveItem& item) {
     heap_.push_back(item);
     std::push_heap(heap_.begin(), heap_.end(), ByEndGreater);
@@ -128,54 +163,90 @@ class EndHeap {
   }
 
   size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
 
  private:
   static bool ByEndGreater(const ActiveItem& a, const ActiveItem& b) {
     return a.end > b.end;
   }
 
-  std::vector<ActiveItem> heap_;
+  std::vector<ActiveItem>& heap_;
 };
 
-/// Shared per-pass scratch. All arrays are sized once up front; the merge
-/// loop itself performs no allocation beyond match emission.
+/// Shared per-pass scratch, backed by the arena: all buffers are
+/// assigned (never freed) up front; the merge loop performs no
+/// allocation once the arena is warm. Matches are emitted as packed
+/// (iter << 32 | pre) keys, with the emission order tracked so the
+/// canonicalization pass can be skipped when the keys already came out
+/// strictly increasing.
 struct PassState {
-  std::vector<int64_t> iter_max_end;  // same-iteration containment pruning
-  std::vector<size_t> emit_stamp;     // per-iteration dedup, keyed by cand
+  std::vector<int64_t>& iter_max_end;  // same-iteration containment pruning
+  std::vector<size_t>& emit_stamp;     // per-iteration dedup, keyed by cand
+  std::vector<uint64_t>& keys;         // packed match emission
+  bool emitted_sorted = true;          // keys non-decreasing so far
+  bool emitted_dup = false;            // adjacent equal keys seen
+  uint64_t last_key = 0;
   size_t active_peak = 0;
   size_t contexts_skipped = 0;
+  size_t contexts_dead = 0;
+  size_t candidates_scanned = 0;
+  size_t candidates_skipped = 0;
   size_t matches_emitted = 0;
 
-  PassState(uint32_t iter_count, bool prune) {
-    if (prune) iter_max_end.assign(iter_count, INT64_MIN);
+  PassState(JoinArena* arena, uint32_t iter_count, bool prune)
+      : iter_max_end(arena->iter_max_end),
+        emit_stamp(arena->emit_stamp),
+        keys(arena->keys) {
+    if (prune) {
+      iter_max_end.assign(iter_count, INT64_MIN);
+    } else {
+      iter_max_end.clear();
+    }
     emit_stamp.assign(iter_count, SIZE_MAX);
+    keys.clear();
   }
 
-  /// True if a previously activated same-iteration context region
-  /// provably contains `c` (its recorded end reaches at least c.end and,
-  /// by start-ordered activation, its start is <= c.start).
-  bool ShouldPrune(const IterRegion& c) {
+  /// True if a previously seen same-iteration context region provably
+  /// contains `c` (its recorded end reaches at least c.end and, by
+  /// start-ordered arrival, its start is <= c.start).
+  bool ShouldPrune(const IterRegion& c) const {
     return !iter_max_end.empty() && iter_max_end[c.iter] >= c.end;
   }
 
-  void NoteActivated(const IterRegion& c) {
+  void NoteSeen(const IterRegion& c) {
     if (!iter_max_end.empty()) iter_max_end[c.iter] = c.end;
+  }
+
+  void Emit(uint32_t iter, storage::Pre pre) {
+    const uint64_t key = (static_cast<uint64_t>(iter) << 32) | pre;
+    if (!keys.empty()) {
+      if (key < last_key) {
+        emitted_sorted = false;
+      } else if (key == last_key) {
+        emitted_dup = true;
+      }
+    }
+    last_key = key;
+    keys.push_back(key);
   }
 };
 
 /// Narrow merge pass: context regions and candidates both stream in
 /// ascending start order; a candidate matches iteration i when some
-/// active i-context's end reaches past the candidate's end.
+/// active i-context's end reaches past the candidate's end. With
+/// `gallop`, runs of candidates with no active context are skipped by
+/// exponential + binary search over the start column, and context rows
+/// that end before every remaining candidate are never activated.
 template <typename CtxSet>
 void SelectNarrowPass(const std::vector<IterRegion>& ctx,
-                      const RegionEntry* cand, size_t cand_n,
-                      PassState* state, TraceSink* trace,
-                      std::vector<IterMatch>* matches) {
-  CtxSet active;
+                      const RegionColumns& cand, bool gallop,
+                      JoinArena* arena, PassState* state, TraceSink* trace) {
+  CtxSet active(&arena->active_a);
   size_t i = 0;
-  for (size_t j = 0; j < cand_n; ++j) {
-    const RegionEntry& r = cand[j];
-    while (i < ctx.size() && ctx[i].start <= r.start) {
+  size_t j = 0;
+  while (j < cand.size) {
+    const int64_t rstart = cand.start[j];
+    while (i < ctx.size() && ctx[i].start <= rstart) {
       const IterRegion& c = ctx[i];
       if (state->ShouldPrune(c)) {
         ++state->contexts_skipped;
@@ -184,9 +255,16 @@ void SelectNarrowPass(const std::vector<IterRegion>& ctx,
                        " -> pruned (contained in an active same-iteration "
                        "region)");
         }
+      } else if (gallop && c.end < rstart) {
+        // Dead on arrival: every remaining candidate starts at or after
+        // rstart, past this region's end — activation could only ever
+        // retire it unprobed. Still feeds the pruning bound (a region
+        // contained in a dead region is itself dead).
+        ++state->contexts_dead;
+        state->NoteSeen(c);
       } else {
         active.Insert(ActiveItem{c.end, c.start, c.iter, 0});
-        state->NoteActivated(c);
+        state->NoteSeen(c);
         state->active_peak = std::max(state->active_peak, active.size());
         if (trace) {
           trace->Event("read context " + CtxLabel(c.iter, c.start, c.end) +
@@ -195,48 +273,69 @@ void SelectNarrowPass(const std::vector<IterRegion>& ctx,
       }
       ++i;
     }
-    active.RetireBelow(r.start, [&](const ActiveItem& c) {
+    active.RetireBelow(rstart, [&](const ActiveItem& c) {
       if (trace) {
         trace->Event("retire " + CtxLabel(c.iter, c.start, c.end) +
-                     " (ends before candidate start " + std::to_string(r.start) +
+                     " (ends before candidate start " + std::to_string(rstart) +
                      ")");
       }
     });
+    if (gallop && active.empty()) {
+      // No live context: this candidate and every one before the next
+      // context start are provably match-free (contained candidates
+      // need a context starting at or before them, and all remaining
+      // contexts start strictly later).
+      if (i >= ctx.size()) {
+        state->candidates_skipped += cand.size - j;
+        break;
+      }
+      const size_t next = GallopLowerBound(cand.start, j, cand.size,
+                                           ctx[i].start);
+      state->candidates_skipped += next - j;
+      j = next;
+      continue;
+    }
+    ++state->candidates_scanned;
     if (trace) {
-      trace->Event("read candidate " + RegionLabel(r.start, r.end) +
-                   " (node " + std::to_string(r.id) + ") -> probe " +
+      trace->Event("read candidate " + RegionLabel(rstart, cand.end[j]) +
+                   " (node " + std::to_string(cand.id[j]) + ") -> probe " +
                    std::to_string(active.size()) + " active");
     }
-    active.ForEachEndAtLeast(r.end, [&](const ActiveItem& c) {
+    const int64_t rend = cand.end[j];
+    const storage::Pre rid = cand.id[j];
+    active.ForEachEndAtLeast(rend, [&](const ActiveItem& c) {
       ++state->matches_emitted;
       if (state->emit_stamp[c.iter] != j) {
         state->emit_stamp[c.iter] = j;
-        matches->push_back(IterMatch{c.iter, r.id});
+        state->Emit(c.iter, rid);
         if (trace) {
           trace->Event("match (iter" + std::to_string(c.iter + 1) +
-                       ", node " + std::to_string(r.id) + ")");
+                       ", node " + std::to_string(rid) + ")");
         }
       }
     });
+    ++j;
   }
 }
 
 /// Wide (overlap) merge pass: a symmetric interval join. Both inputs
 /// stream by start; each keeps the other side's not-yet-expired regions
 /// active, and every overlapping (context, candidate) pair is emitted by
-/// whichever side arrives later.
+/// whichever side arrives later. With `gallop`, rows that end before
+/// the other side's cursor while nothing is active are dropped without
+/// entering an active set, and the pass stops once contexts are
+/// exhausted with no context active.
 template <typename CtxSet, typename CandSet>
 void SelectWidePass(const std::vector<IterRegion>& ctx,
-                    const RegionEntry* cand, size_t cand_n,
-                    PassState* state, TraceSink* trace,
-                    std::vector<IterMatch>* matches) {
-  CtxSet active_ctx;
-  CandSet active_cand;
+                    const RegionColumns& cand, bool gallop, JoinArena* arena,
+                    PassState* state, TraceSink* trace) {
+  CtxSet active_ctx(&arena->active_a);
+  CandSet active_cand(&arena->active_b);
   size_t i = 0, j = 0;
-  while (i < ctx.size() || j < cand_n) {
+  while (i < ctx.size() || j < cand.size) {
     const bool take_ctx =
-        j >= cand_n ||
-        (i < ctx.size() && ctx[i].start <= cand[j].start);
+        j >= cand.size ||
+        (i < ctx.size() && ctx[i].start <= cand.start[j]);
     if (take_ctx) {
       const IterRegion& c = ctx[i];
       active_cand.RetireBelow(c.start, [&](const ActiveItem& r) {
@@ -252,49 +351,97 @@ void SelectWidePass(const std::vector<IterRegion>& ctx,
                        " -> pruned (contained in an active same-iteration "
                        "region)");
         }
+      } else if (gallop && active_cand.empty() &&
+                 (j >= cand.size || c.end < cand.start[j])) {
+        // Nothing active to pair with, and the region expires before the
+        // next candidate arrives: it can never overlap anything.
+        ++state->contexts_dead;
+        state->NoteSeen(c);
       } else {
         active_cand.ForEachAll([&](const ActiveItem& r) {
           ++state->matches_emitted;
-          matches->push_back(IterMatch{c.iter, r.id});
+          state->Emit(c.iter, r.id);
         });
         active_ctx.Insert(ActiveItem{c.end, c.start, c.iter, 0});
-        state->NoteActivated(c);
+        state->NoteSeen(c);
         if (trace) {
           trace->Event("read context " + CtxLabel(c.iter, c.start, c.end) +
                        " -> activate");
         }
       }
-      state->active_peak = std::max(state->active_peak,
-                                    active_ctx.size() + active_cand.size());
+      state->active_peak = std::max(
+          state->active_peak, active_ctx.size() + active_cand.size());
       ++i;
     } else {
-      const RegionEntry& r = cand[j];
-      active_ctx.RetireBelow(r.start, [&](const ActiveItem& c) {
+      const int64_t rstart = cand.start[j];
+      active_ctx.RetireBelow(rstart, [&](const ActiveItem& c) {
         if (trace) {
           trace->Event("retire " + CtxLabel(c.iter, c.start, c.end));
         }
       });
+      if (gallop && active_ctx.empty() && i >= ctx.size()) {
+        // No context is active and none remains: every further
+        // candidate is match-free.
+        state->candidates_skipped += cand.size - j;
+        break;
+      }
+      if (gallop && active_ctx.empty() && cand.end[j] < ctx[i].start) {
+        // Expires before the next context arrives with nothing active:
+        // dead on arrival.
+        ++state->candidates_skipped;
+        ++j;
+        continue;
+      }
+      ++state->candidates_scanned;
       if (trace) {
-        trace->Event("read candidate " + RegionLabel(r.start, r.end) +
-                     " (node " + std::to_string(r.id) + ") -> probe " +
+        trace->Event("read candidate " + RegionLabel(rstart, cand.end[j]) +
+                     " (node " + std::to_string(cand.id[j]) + ") -> probe " +
                      std::to_string(active_ctx.size()) + " active");
       }
+      const storage::Pre rid = cand.id[j];
       active_ctx.ForEachAll([&](const ActiveItem& c) {
         ++state->matches_emitted;
         if (state->emit_stamp[c.iter] != j) {
           state->emit_stamp[c.iter] = j;
-          matches->push_back(IterMatch{c.iter, r.id});
+          state->Emit(c.iter, rid);
           if (trace) {
             trace->Event("match (iter" + std::to_string(c.iter + 1) +
-                         ", node " + std::to_string(r.id) + ")");
+                         ", node " + std::to_string(rid) + ")");
           }
         }
       });
-      active_cand.Insert(ActiveItem{r.end, r.start, 0, r.id});
-      state->active_peak = std::max(state->active_peak,
-                                    active_ctx.size() + active_cand.size());
+      active_cand.Insert(ActiveItem{cand.end[j], rstart, 0, rid});
+      state->active_peak = std::max(
+          state->active_peak, active_ctx.size() + active_cand.size());
       ++j;
     }
+  }
+}
+
+/// Per-live-iteration complement of the packed select keys against the
+/// sorted candidate universe, written straight into `out`.
+void ComplementFromKeys(const std::vector<IterRegion>& context,
+                        const std::vector<uint64_t>& keys,
+                        const std::vector<storage::Pre>& universe,
+                        uint32_t iter_count, std::vector<uint8_t>* present,
+                        std::vector<IterMatch>* out) {
+  present->assign(iter_count, 0);
+  for (const IterRegion& c : context) (*present)[c.iter] = 1;
+  size_t m = 0;
+  for (uint32_t iter = 0; iter < iter_count; ++iter) {
+    while (m < keys.size() && (keys[m] >> 32) < iter) ++m;
+    if (!(*present)[iter]) continue;
+    size_t iter_end = m;
+    while (iter_end < keys.size() && (keys[iter_end] >> 32) == iter) {
+      ++iter_end;
+    }
+    size_t k = m;
+    for (storage::Pre id : universe) {
+      while (k < iter_end && static_cast<storage::Pre>(keys[k]) < id) ++k;
+      if (k < iter_end && static_cast<storage::Pre>(keys[k]) == id) continue;
+      out->push_back(IterMatch{iter, id});
+    }
+    m = iter_end;
   }
 }
 
@@ -354,6 +501,42 @@ void ComplementPerIteration(const std::vector<IterRegion>& context,
   }
 }
 
+void RadixSortKeys(std::vector<uint64_t>* keys, std::vector<uint64_t>* tmp) {
+  const size_t n = keys->size();
+  if (n < 2) return;
+  if (n < 512) {
+    // Below the histogram break-even an introsort of plain uint64s wins
+    // (and, like the radix passes, allocates nothing).
+    std::sort(keys->begin(), keys->end());
+    return;
+  }
+  uint64_t all_or = 0;
+  uint64_t all_and = ~uint64_t{0};
+  for (uint64_t k : *keys) {
+    all_or |= k;
+    all_and &= k;
+  }
+  tmp->resize(n);
+  uint64_t* src = keys->data();
+  uint64_t* dst = tmp->data();
+  for (int shift = 0; shift < 64; shift += 8) {
+    // A byte on which every key agrees cannot affect the order; with
+    // small iter counts and node ids the sort usually runs 2–4 passes.
+    if ((((all_or ^ all_and) >> shift) & 0xFF) == 0) continue;
+    size_t hist[256] = {0};
+    for (size_t i = 0; i < n; ++i) ++hist[(src[i] >> shift) & 0xFF];
+    size_t sum = 0;
+    for (size_t b = 0; b < 256; ++b) {
+      const size_t count = hist[b];
+      hist[b] = sum;
+      sum += count;
+    }
+    for (size_t i = 0; i < n; ++i) dst[hist[(src[i] >> shift) & 0xFF]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != keys->data()) std::copy(src, src + n, keys->data());
+}
+
 }  // namespace detail
 
 void NaiveStandoffJoin(StandoffOp op,
@@ -397,6 +580,24 @@ void NaiveStandoffJoinSpan(StandoffOp op,
   out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
+Status BasicStandoffJoinColumns(StandoffOp op,
+                                const std::vector<AreaAnnotation>& context,
+                                RegionColumns candidates,
+                                const std::vector<storage::Pre>& candidate_ids,
+                                std::vector<storage::Pre>* out,
+                                JoinOptions options) {
+  const std::vector<IterRegion> rows = detail::SingleIterationRows(context);
+  const std::vector<uint32_t> ann_iters(context.size(), 0);
+  std::vector<IterMatch> matches;
+  STANDOFF_RETURN_IF_ERROR(LoopLiftedStandoffJoinColumns(
+      op, rows, ann_iters, candidates, candidate_ids,
+      /*iter_count=*/1, &matches, options));
+  out->clear();
+  out->reserve(matches.size());
+  for (const IterMatch& m : matches) out->push_back(m.pre);
+  return Status::OK();
+}
+
 Status BasicStandoffJoin(StandoffOp op,
                          const std::vector<AreaAnnotation>& context,
                          const std::vector<RegionEntry>& candidates,
@@ -415,17 +616,11 @@ Status BasicStandoffJoin(StandoffOp op,
   return Status::OK();
 }
 
-namespace {
-
-/// The kernel proper, over a caller-verified start-sorted candidate
-/// span.
-Status LoopLiftedImpl(StandoffOp op, const std::vector<IterRegion>& context,
-                      const std::vector<uint32_t>& ann_iters,
-                      const RegionEntry* cand_begin,
-                      const RegionEntry* cand_end,
-                      const std::vector<storage::Pre>& candidate_ids,
-                      uint32_t iter_count, std::vector<IterMatch>* out,
-                      const JoinOptions& options) {
+Status LoopLiftedStandoffJoinColumns(
+    StandoffOp op, const std::vector<IterRegion>& context,
+    const std::vector<uint32_t>& ann_iters, RegionColumns cand,
+    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    std::vector<IterMatch>* out, JoinOptions options) {
   out->clear();
   for (const IterRegion& c : context) {
     if (c.iter >= iter_count) {
@@ -440,80 +635,91 @@ Status LoopLiftedImpl(StandoffOp op, const std::vector<IterRegion>& context,
       return Status::Invalid("context region ends before it starts");
     }
   }
-  const size_t cand_n = static_cast<size_t>(cand_end - cand_begin);
+  // Views from RegionIndex / verified parents carry the sortedness
+  // promise; anything else is checked here, once.
+  if (!cand.start_sorted &&
+      !std::is_sorted(cand.start, cand.start + cand.size)) {
+    return Status::Invalid("candidates must be sorted by region start");
+  }
 
+  JoinArena local_arena;
+  JoinArena* arena = options.arena != nullptr ? options.arena : &local_arena;
+
+  arena->ctx.assign(context.begin(), context.end());
+  std::vector<IterRegion>& ctx = arena->ctx;
   const auto ctx_less = [](const IterRegion& a, const IterRegion& b) {
     if (a.start != b.start) return a.start < b.start;
     return a.end < b.end;
   };
-  std::vector<IterRegion> ctx(context);
   // Already-ordered input (every shard cell of a parallel join re-joins
   // the same pre-sorted block context) skips the sort.
   if (!std::is_sorted(ctx.begin(), ctx.end(), ctx_less)) {
     std::sort(ctx.begin(), ctx.end(), ctx_less);
   }
 
-  PassState state(iter_count, options.prune_contained_contexts);
-  std::vector<IterMatch> matches;
+  PassState state(arena, iter_count, options.prune_contained_contexts);
   // Heuristic: output is commonly candidate-bounded; pre-sizing keeps the
   // merge loop free of reallocation in the typical case.
-  matches.reserve(cand_n);
+  state.keys.reserve(cand.size);
+  // The trace contract is the complete per-step event stream — skipping
+  // steps would skip events — so galloping is forced off under a sink.
+  const bool gallop = options.gallop && options.trace == nullptr;
   const bool narrow = IsNarrow(op);
   if (options.active_list == ActiveListKind::kSortedList) {
     if (narrow) {
-      SelectNarrowPass<SortedEndList>(ctx, cand_begin, cand_n, &state,
-                                      options.trace, &matches);
+      SelectNarrowPass<SortedEndList>(ctx, cand, gallop, arena, &state,
+                                      options.trace);
     } else {
-      SelectWidePass<SortedEndList, SortedEndList>(
-          ctx, cand_begin, cand_n, &state, options.trace, &matches);
+      SelectWidePass<SortedEndList, SortedEndList>(ctx, cand, gallop, arena,
+                                                   &state, options.trace);
     }
   } else {
     if (narrow) {
-      SelectNarrowPass<EndHeap>(ctx, cand_begin, cand_n, &state,
-                                options.trace, &matches);
+      SelectNarrowPass<EndHeap>(ctx, cand, gallop, arena, &state,
+                                options.trace);
     } else {
-      SelectWidePass<EndHeap, EndHeap>(ctx, cand_begin, cand_n, &state,
-                                       options.trace, &matches);
+      SelectWidePass<EndHeap, EndHeap>(ctx, cand, gallop, arena, &state,
+                                       options.trace);
     }
   }
   if (options.stats) {
     options.stats->active_peak = state.active_peak;
     options.stats->contexts_skipped = state.contexts_skipped;
-    options.stats->candidates_scanned = cand_n;
+    options.stats->contexts_dead = state.contexts_dead;
+    options.stats->candidates_scanned = state.candidates_scanned;
+    options.stats->candidates_skipped = state.candidates_skipped;
     options.stats->matches_emitted = state.matches_emitted;
   }
 
-  // Canonicalize to (iter, pre) order, duplicate-free. Sorting packed
-  // 64-bit keys beats a two-field comparator on large outputs.
-  {
-    std::vector<uint64_t> keys(matches.size());
-    for (size_t i = 0; i < matches.size(); ++i) {
-      keys[i] = (static_cast<uint64_t>(matches[i].iter) << 32) |
-                matches[i].pre;
-    }
-    std::sort(keys.begin(), keys.end());
+  // Canonicalize to strictly increasing (iter, pre) keys. The merge
+  // often emits in order already (single-iteration joins and contexts
+  // whose iterations advance with their start, the Q2/document shape):
+  // then this is a no-op, or a dedup at most. Out-of-order emission
+  // takes the radix pass — never a comparison sort on large outputs.
+  std::vector<uint64_t>& keys = arena->keys;
+  if (!state.emitted_sorted) {
+    detail::RadixSortKeys(&keys, &arena->keys_tmp);
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    matches.resize(keys.size());
-    for (size_t i = 0; i < keys.size(); ++i) {
-      matches[i] = IterMatch{static_cast<uint32_t>(keys[i] >> 32),
-                             static_cast<storage::Pre>(keys[i])};
-    }
+  } else if (state.emitted_dup) {
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   }
 
   if (!IsReject(op)) {
-    *out = std::move(matches);
+    out->resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*out)[i] = IterMatch{static_cast<uint32_t>(keys[i] >> 32),
+                            static_cast<storage::Pre>(keys[i])};
+    }
     return Status::OK();
   }
 
   // Reject: complement against the candidate universe per iteration.
-  std::vector<storage::Pre> scratch;
   const std::vector<storage::Pre>* universe =
-      detail::NormalizeUniverse(candidate_ids, &scratch);
-  detail::ComplementPerIteration(ctx, matches, *universe, iter_count, out);
+      detail::NormalizeUniverse(candidate_ids, &arena->universe_scratch);
+  ComplementFromKeys(ctx, keys, *universe, iter_count, &arena->iter_present,
+                     out);
   return Status::OK();
 }
-
-}  // namespace
 
 Status LoopLiftedStandoffJoin(StandoffOp op,
                               const std::vector<IterRegion>& context,
@@ -524,32 +730,20 @@ Status LoopLiftedStandoffJoin(StandoffOp op,
                               uint32_t iter_count,
                               std::vector<IterMatch>* out,
                               JoinOptions options) {
-  out->clear();
-  // The index's own entry array is sorted by construction; any other
-  // candidate sequence must come in start order for the merge to be valid.
-  if (&candidates != &index.entries() &&
-      !std::is_sorted(candidates.begin(), candidates.end(),
-                      [](const RegionEntry& a, const RegionEntry& b) {
-                        return a.start < b.start;
-                      })) {
-    return Status::Invalid("candidates must be sorted by region start");
+  if (&candidates == &index.entries()) {
+    return LoopLiftedStandoffJoinColumns(op, context, ann_iters,
+                                         index.columns(), candidate_ids,
+                                         iter_count, out, options);
   }
-  return LoopLiftedImpl(op, context, ann_iters, candidates.data(),
-                        candidates.data() + candidates.size(), candidate_ids,
-                        iter_count, out, options);
-}
-
-Status LoopLiftedStandoffJoinSpan(StandoffOp op,
-                                  const std::vector<IterRegion>& context,
-                                  const std::vector<uint32_t>& ann_iters,
-                                  const RegionEntry* cand_begin,
-                                  const RegionEntry* cand_end,
-                                  const std::vector<storage::Pre>& candidate_ids,
-                                  uint32_t iter_count,
-                                  std::vector<IterMatch>* out,
-                                  JoinOptions options) {
-  return LoopLiftedImpl(op, context, ann_iters, cand_begin, cand_end,
-                        candidate_ids, iter_count, out, options);
+  // External AoS sequence: transpose into temporary columns. Append
+  // tracks start order, so an in-order vector skips re-verification and
+  // an out-of-order one is rejected by the columnar kernel.
+  RegionColumnsData cols;
+  cols.Reserve(candidates.size());
+  for (const RegionEntry& e : candidates) cols.Append(e.start, e.end, e.id);
+  return LoopLiftedStandoffJoinColumns(op, context, ann_iters, cols.View(),
+                                       candidate_ids, iter_count, out,
+                                       options);
 }
 
 }  // namespace so

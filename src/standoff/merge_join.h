@@ -15,6 +15,15 @@
 // overlapping one), and their complements reject-narrow / reject-wide
 // over the candidate universe. Region boundaries are inclusive.
 //
+// The merge kernels consume the columnar (struct-of-arrays) region
+// layout (`RegionColumns`) directly: the pass streams the start column,
+// and when the active list is empty it GALLOPS (exponential + binary
+// search over the start column) past every candidate that provably
+// cannot match — sparse and skewed workloads become output-bounded
+// instead of index-bounded. The AoS `std::vector<RegionEntry>`
+// overloads remain as shims for tests; they forward to the columnar
+// kernels.
+//
 // The loop-lifted kernel keeps an *active list* of context regions whose
 // end has not yet passed the merge cursor. Two interchangeable structures
 // implement it (the paper's Section 5 remark): a list sorted by region
@@ -22,10 +31,18 @@
 // (O(log active) insert, O(active) probes). Same-iteration context
 // regions provably contained in an already-active one are pruned on
 // insert (Listing 1, lines 11–18).
+//
+// Matches are emitted as packed 64-bit (iter << 32 | pre) keys into a
+// reusable JoinArena; canonicalization is a no-op when emission was
+// already strictly increasing (the common Q2/document-order shape) and
+// an allocation-free radix pass otherwise. With a warm arena the merge
+// performs zero heap allocations per call.
 #ifndef STANDOFF_STANDOFF_MERGE_JOIN_H_
 #define STANDOFF_STANDOFF_MERGE_JOIN_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -91,13 +108,71 @@ enum class ActiveListKind {
 struct JoinStats {
   size_t active_peak = 0;        // max simultaneously active context rows
   size_t contexts_skipped = 0;   // pruned as same-iteration contained
-  size_t candidates_scanned = 0;
+  size_t contexts_dead = 0;      // skipped: end before every live candidate
+  size_t candidates_scanned = 0; // probed by the merge cursor
+  size_t candidates_skipped = 0; // galloped over without a probe
   size_t matches_emitted = 0;    // before per-iteration deduplication
+};
+
+namespace detail {
+
+/// One active region, shared by both active-list structures. `id` is the
+/// candidate node for candidate items and unused (0) for context items;
+/// `iter` is the loop iteration for context items, unused for candidates.
+struct ActiveItem {
+  int64_t end = 0;
+  int64_t start = 0;
+  uint32_t iter = 0;
+  storage::Pre id = 0;
+};
+
+}  // namespace detail
+
+/// Reusable scratch for one merge pass: every buffer the kernel needs,
+/// sized on first use and retained (capacity never shrinks) across
+/// calls. One arena serves one call at a time; share across threads via
+/// JoinArenaPool. All members are owned by the kernels — callers only
+/// construct, hold, and pass the arena.
+class JoinArena {
+ public:
+  std::vector<IterRegion> ctx;               // sorted context copy
+  std::vector<int64_t> iter_max_end;         // containment pruning
+  std::vector<size_t> emit_stamp;            // per-iteration dedup
+  std::vector<uint64_t> keys;                // packed (iter, pre) matches
+  std::vector<uint64_t> keys_tmp;            // radix ping-pong buffer
+  std::vector<detail::ActiveItem> active_a;  // context active storage
+  std::vector<detail::ActiveItem> active_b;  // candidate active storage
+  std::vector<storage::Pre> universe_scratch;
+  std::vector<uint8_t> iter_present;         // reject complement scratch
+};
+
+/// Thread-safe free list of arenas for the parallel kernels: each
+/// (block, shard) cell checks one out for the duration of its serial
+/// pass. Arenas are created on demand and retained, so a warmed pool
+/// serves any number of subsequent joins without allocation inside the
+/// kernels.
+class JoinArenaPool {
+ public:
+  JoinArena* Acquire();
+  void Release(JoinArena* arena);
+  size_t created() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<JoinArena>> all_;
+  std::vector<JoinArena*> free_;
 };
 
 struct JoinOptions {
   ActiveListKind active_list = ActiveListKind::kSortedList;
   bool prune_contained_contexts = true;
+  /// Skip-based merging: gallop the candidate cursor over runs with no
+  /// active context, and drop context rows that end before every live
+  /// candidate. Disabled automatically under `trace` (the trace contract
+  /// is the full per-step event stream).
+  bool gallop = true;
+  /// Reusable scratch; null means per-call local buffers (allocates).
+  JoinArena* arena = nullptr;
   TraceSink* trace = nullptr;    // non-null: emit per-step events (slow)
   JoinStats* stats = nullptr;
 };
@@ -118,10 +193,20 @@ void NaiveStandoffJoinSpan(StandoffOp op,
                            const AreaAnnotation* cand_end,
                            std::vector<storage::Pre>* out);
 
-/// Single-iteration merge join: one pass over `candidates` (sorted by
-/// start, as produced by RegionIndex) per call. `candidate_ids` is the
-/// sorted candidate universe the reject- operators complement against.
-/// Output is sorted by id and duplicate-free.
+/// Single-iteration merge join over candidate columns (sorted by start;
+/// verified unless the view promises `start_sorted`). `candidate_ids` is
+/// the sorted candidate universe the reject- operators complement
+/// against. Output is sorted by id and duplicate-free.
+Status BasicStandoffJoinColumns(StandoffOp op,
+                                const std::vector<AreaAnnotation>& context,
+                                RegionColumns candidates,
+                                const std::vector<storage::Pre>& candidate_ids,
+                                std::vector<storage::Pre>* out,
+                                JoinOptions options = JoinOptions());
+
+/// AoS shim over BasicStandoffJoinColumns, kept for tests. When
+/// `candidates` is `index.entries()` the index's own columns are used
+/// zero-copy; otherwise the vector is transposed into temporary columns.
 Status BasicStandoffJoin(StandoffOp op,
                          const std::vector<AreaAnnotation>& context,
                          const std::vector<RegionEntry>& candidates,
@@ -130,9 +215,19 @@ Status BasicStandoffJoin(StandoffOp op,
                          std::vector<storage::Pre>* out);
 
 /// The loop-lifted kernel: answers all `iter_count` loop iterations in
-/// one merge pass over `candidates`. `ann_iters[ann]` must give the
-/// iteration of context annotation `ann` (consistency-checked against
-/// `context`). Output is sorted by (iter, pre) and duplicate-free.
+/// one merge pass over the candidate columns. `ann_iters[ann]` must give
+/// the iteration of context annotation `ann` (consistency-checked
+/// against `context`). Output is sorted by (iter, pre) and
+/// duplicate-free.
+Status LoopLiftedStandoffJoinColumns(
+    StandoffOp op, const std::vector<IterRegion>& context,
+    const std::vector<uint32_t>& ann_iters, RegionColumns candidates,
+    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    std::vector<IterMatch>* out, JoinOptions options = JoinOptions());
+
+/// AoS shim over LoopLiftedStandoffJoinColumns, kept for tests; the
+/// `index.entries()` identity is detected and served zero-copy from the
+/// index's columns.
 Status LoopLiftedStandoffJoin(StandoffOp op,
                               const std::vector<IterRegion>& context,
                               const std::vector<uint32_t>& ann_iters,
@@ -142,21 +237,6 @@ Status LoopLiftedStandoffJoin(StandoffOp op,
                               uint32_t iter_count,
                               std::vector<IterMatch>* out,
                               JoinOptions options = JoinOptions());
-
-/// Span form of the loop-lifted kernel: joins the candidates in
-/// [cand_begin, cand_end) without copying them. The CALLER guarantees
-/// start-sortedness (any chunk of a sorted array qualifies) — it is
-/// not re-verified. Otherwise identical to LoopLiftedStandoffJoin;
-/// this is what the parallel kernel's (block, shard) cells run on.
-Status LoopLiftedStandoffJoinSpan(StandoffOp op,
-                                  const std::vector<IterRegion>& context,
-                                  const std::vector<uint32_t>& ann_iters,
-                                  const RegionEntry* cand_begin,
-                                  const RegionEntry* cand_end,
-                                  const std::vector<storage::Pre>& candidate_ids,
-                                  uint32_t iter_count,
-                                  std::vector<IterMatch>* out,
-                                  JoinOptions options = JoinOptions());
 
 // Pieces of the serial kernel the parallel variants reuse, so the two
 // paths cannot drift apart.
@@ -182,6 +262,11 @@ void ComplementPerIteration(const std::vector<IterRegion>& context,
                             const std::vector<storage::Pre>& universe,
                             uint32_t iter_count,
                             std::vector<IterMatch>* out);
+
+/// In-place LSD radix sort of packed keys; `tmp` is the ping-pong
+/// buffer. Byte positions on which all keys agree are skipped, so the
+/// common low-iter/low-pre case runs few passes.
+void RadixSortKeys(std::vector<uint64_t>* keys, std::vector<uint64_t>* tmp);
 
 }  // namespace detail
 

@@ -24,6 +24,25 @@ uint64_t PackKey(const IterMatch& m) {
   return (static_cast<uint64_t>(m.iter) << 32) | m.pre;
 }
 
+/// A borrowed arena (from the pool, when one is configured) that hands
+/// itself back on scope exit.
+class ScopedArena {
+ public:
+  explicit ScopedArena(JoinArenaPool* pool)
+      : pool_(pool), arena_(pool ? pool->Acquire() : nullptr) {}
+  ~ScopedArena() {
+    if (pool_) pool_->Release(arena_);
+  }
+  ScopedArena(const ScopedArena&) = delete;
+  ScopedArena& operator=(const ScopedArena&) = delete;
+
+  JoinArena* get() const { return arena_; }
+
+ private:
+  JoinArenaPool* pool_;
+  JoinArena* arena_;
+};
+
 /// One contiguous iteration range [lo, hi) and its context rows.
 /// [cand_lo, cand_hi) is the pruned candidate index range the block
 /// can possibly match (see PruneCandidateRange).
@@ -90,7 +109,7 @@ std::vector<IterBlock> MakeIterBlocks(const std::vector<IterRegion>& context,
 }
 
 /// Restricts a block to the candidate indices it can possibly match,
-/// by binary search on the start-sorted array. This is what makes the
+/// by binary search on the start column. This is what makes the
 /// iteration-range split work-efficient: blocks whose contexts cover
 /// disjoint universe spans scan disjoint candidate ranges instead of
 /// each rescanning the whole array.
@@ -101,35 +120,27 @@ std::vector<IterBlock> MakeIterBlocks(const std::vector<IterRegion>& context,
 ///  * wide: overlap needs cand.start <= ctx.end, bounding only the
 ///    right side (a long candidate may start before every context and
 ///    still overlap, so the left side stays open).
-void PruneCandidateRange(const std::vector<RegionEntry>& candidates,
-                         bool narrow, IterBlock* block) {
+void PruneCandidateRange(const RegionColumns& candidates, bool narrow,
+                         IterBlock* block) {
   int64_t min_start = block->context.front().start;
   int64_t max_end = block->context.front().end;
   for (const IterRegion& c : block->context) {
     min_start = std::min(min_start, c.start);
     max_end = std::max(max_end, c.end);
   }
-  const auto start_less = [](const RegionEntry& e, int64_t v) {
-    return e.start < v;
-  };
+  const int64_t* begin = candidates.start;
+  const int64_t* end = candidates.start + candidates.size;
   block->cand_lo =
-      narrow ? static_cast<size_t>(
-                   std::lower_bound(candidates.begin(), candidates.end(),
-                                    min_start, start_less) -
-                   candidates.begin())
+      narrow ? static_cast<size_t>(std::lower_bound(begin, end, min_start) -
+                                   begin)
              : 0;
   block->cand_hi = static_cast<size_t>(
-      std::upper_bound(candidates.begin(), candidates.end(), max_end,
-                       [](int64_t v, const RegionEntry& e) {
-                         return v < e.start;
-                       }) -
-      candidates.begin());
+      std::upper_bound(begin, end, max_end) - begin);
 }
 
 Status ValidateInputs(const std::vector<IterRegion>& context,
                       const std::vector<uint32_t>& ann_iters,
-                      const std::vector<RegionEntry>& candidates,
-                      const RegionIndex& index, uint32_t iter_count) {
+                      const RegionColumns& candidates, uint32_t iter_count) {
   for (const IterRegion& c : context) {
     if (c.iter >= iter_count) {
       return Status::Invalid("context row iteration " +
@@ -143,14 +154,12 @@ Status ValidateInputs(const std::vector<IterRegion>& context,
       return Status::Invalid("context region ends before it starts");
     }
   }
-  // Chunk-local sortedness does not imply global sortedness (a
-  // violation can sit exactly on a shard boundary), so check the whole
-  // sequence here; per-cell kernels then recheck only their chunk.
-  if (&candidates != &index.entries() &&
-      !std::is_sorted(candidates.begin(), candidates.end(),
-                      [](const RegionEntry& a, const RegionEntry& b) {
-                        return a.start < b.start;
-                      })) {
+  // Slice-local sortedness does not imply global sortedness (a
+  // violation can sit exactly on a shard boundary), so sequences
+  // without the by-construction promise are checked whole here; the
+  // verified view then passes the promise down to every cell slice.
+  if (!candidates.start_sorted &&
+      !std::is_sorted(candidates.start, candidates.start + candidates.size)) {
     return Status::Invalid("candidates must be sorted by region start");
   }
   return Status::OK();
@@ -158,10 +167,9 @@ Status ValidateInputs(const std::vector<IterRegion>& context,
 
 }  // namespace
 
-Status ParallelLoopLiftedStandoffJoin(
+Status ParallelLoopLiftedStandoffJoinColumns(
     StandoffOp op, const std::vector<IterRegion>& context,
-    const std::vector<uint32_t>& ann_iters,
-    const std::vector<RegionEntry>& candidates, const RegionIndex& index,
+    const std::vector<uint32_t>& ann_iters, RegionColumns candidates,
     const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
     std::vector<IterMatch>* out, const ParallelJoinOptions& options) {
   out->clear();
@@ -177,13 +185,17 @@ Status ParallelLoopLiftedStandoffJoin(
   // has nothing to parallelize. Both take the serial kernel verbatim.
   if (options.join.trace != nullptr || !pool ||
       (blocks_wanted <= 1 && shards <= 1)) {
-    return LoopLiftedStandoffJoin(op, context, ann_iters, candidates, index,
-                                  candidate_ids, iter_count, out,
-                                  options.join);
+    JoinOptions serial = options.join;
+    ScopedArena arena(serial.arena == nullptr ? options.arenas : nullptr);
+    if (serial.arena == nullptr) serial.arena = arena.get();
+    return LoopLiftedStandoffJoinColumns(op, context, ann_iters, candidates,
+                                         candidate_ids, iter_count, out,
+                                         serial);
   }
 
   STANDOFF_RETURN_IF_ERROR(
-      ValidateInputs(context, ann_iters, candidates, index, iter_count));
+      ValidateInputs(context, ann_iters, candidates, iter_count));
+  candidates.start_sorted = true;  // verified above (or by construction)
   if (iter_count == 0 || context.empty() ||
       (candidates.empty() && !IsRejectOp(op))) {
     return Status::OK();
@@ -197,13 +209,13 @@ Status ParallelLoopLiftedStandoffJoin(
     PruneCandidateRange(candidates, narrow, &block);
   }
 
-  // Candidate shards split the whole start-sorted array into contiguous
-  // chunks; a cell (block b, shard s) joins the block's context against
-  // the intersection of shard s with the block's pruned range. Every
-  // candidate is seen by exactly one shard, so cell outputs merge by
-  // key without loss.
+  // Candidate shards split the whole start-sorted column set into
+  // contiguous slices; a cell (block b, shard s) joins the block's
+  // context against the intersection of shard s with the block's pruned
+  // range. Every candidate is seen by exactly one shard, so cell
+  // outputs merge by key without loss.
   const size_t num_shards =
-      candidates.size() < 2 * shards ? 1 : static_cast<size_t>(shards);
+      candidates.size < 2 * shards ? 1 : static_cast<size_t>(shards);
   const size_t cells = blocks.size() * num_shards;
   static const std::vector<storage::Pre> kNoUniverse;
   std::vector<std::vector<IterMatch>> cell_out(cells);
@@ -214,18 +226,20 @@ Status ParallelLoopLiftedStandoffJoin(
       pool, 0, cells, [&](size_t cell) -> Status {
         const size_t b = cell / num_shards;
         const size_t s = cell % num_shards;
-        const size_t shard_lo = candidates.size() * s / num_shards;
-        const size_t shard_hi = candidates.size() * (s + 1) / num_shards;
+        const size_t shard_lo = candidates.size * s / num_shards;
+        const size_t shard_hi = candidates.size * (s + 1) / num_shards;
         const size_t lo = std::max(shard_lo, blocks[b].cand_lo);
         const size_t hi = std::min(shard_hi, blocks[b].cand_hi);
         if (lo >= hi) return Status::OK();  // nothing this cell can match
+        ScopedArena arena(options.arenas);
         JoinOptions cell_options = options.join;
         cell_options.trace = nullptr;
+        cell_options.arena = arena.get();
         cell_options.stats = want_stats ? &cell_stats[cell] : nullptr;
-        return LoopLiftedStandoffJoinSpan(
-            select_op, blocks[b].context, ann_iters, candidates.data() + lo,
-            candidates.data() + hi, kNoUniverse, iter_count, &cell_out[cell],
-            cell_options);
+        return LoopLiftedStandoffJoinColumns(
+            select_op, blocks[b].context, ann_iters,
+            candidates.Slice(lo, hi), kNoUniverse, iter_count,
+            &cell_out[cell], cell_options);
       }));
 
   if (want_stats) {
@@ -233,7 +247,9 @@ Status ParallelLoopLiftedStandoffJoin(
     for (const JoinStats& s : cell_stats) {
       total.active_peak = std::max(total.active_peak, s.active_peak);
       total.contexts_skipped += s.contexts_skipped;
+      total.contexts_dead += s.contexts_dead;
       total.candidates_scanned += s.candidates_scanned;
+      total.candidates_skipped += s.candidates_skipped;
       total.matches_emitted += s.matches_emitted;
     }
     *options.join.stats = total;
@@ -293,6 +309,48 @@ Status ParallelLoopLiftedStandoffJoin(
   return Status::OK();
 }
 
+Status ParallelLoopLiftedStandoffJoin(
+    StandoffOp op, const std::vector<IterRegion>& context,
+    const std::vector<uint32_t>& ann_iters,
+    const std::vector<RegionEntry>& candidates, const RegionIndex& index,
+    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    std::vector<IterMatch>* out, const ParallelJoinOptions& options) {
+  if (&candidates == &index.entries()) {
+    return ParallelLoopLiftedStandoffJoinColumns(
+        op, context, ann_iters, index.columns(), candidate_ids, iter_count,
+        out, options);
+  }
+  RegionColumnsData cols;
+  cols.Reserve(candidates.size());
+  for (const RegionEntry& e : candidates) cols.Append(e.start, e.end, e.id);
+  return ParallelLoopLiftedStandoffJoinColumns(
+      op, context, ann_iters, cols.View(), candidate_ids, iter_count, out,
+      options);
+}
+
+Status ParallelBasicStandoffJoinColumns(
+    StandoffOp op, const std::vector<AreaAnnotation>& context,
+    RegionColumns candidates, const std::vector<storage::Pre>& candidate_ids,
+    std::vector<storage::Pre>* out, ThreadPool* pool,
+    uint32_t candidate_shards, JoinArenaPool* arenas, JoinOptions join) {
+  const std::vector<IterRegion> rows = detail::SingleIterationRows(context);
+  const std::vector<uint32_t> ann_iters(context.size(), 0);
+  ParallelJoinOptions options;
+  options.pool = pool;
+  options.iter_blocks = 1;  // a single call is a single iteration
+  options.candidate_shards = candidate_shards;
+  options.arenas = arenas;
+  options.join = join;
+  std::vector<IterMatch> matches;
+  STANDOFF_RETURN_IF_ERROR(ParallelLoopLiftedStandoffJoinColumns(
+      op, rows, ann_iters, candidates, candidate_ids,
+      /*iter_count=*/1, &matches, options));
+  out->clear();
+  out->reserve(matches.size());
+  for (const IterMatch& m : matches) out->push_back(m.pre);
+  return Status::OK();
+}
+
 Status ParallelBasicStandoffJoin(StandoffOp op,
                                  const std::vector<AreaAnnotation>& context,
                                  const std::vector<RegionEntry>& candidates,
@@ -301,20 +359,17 @@ Status ParallelBasicStandoffJoin(StandoffOp op,
                                  std::vector<storage::Pre>* out,
                                  ThreadPool* pool,
                                  uint32_t candidate_shards) {
-  const std::vector<IterRegion> rows = detail::SingleIterationRows(context);
-  const std::vector<uint32_t> ann_iters(context.size(), 0);
-  ParallelJoinOptions options;
-  options.pool = pool;
-  options.iter_blocks = 1;  // a single call is a single iteration
-  options.candidate_shards = candidate_shards;
-  std::vector<IterMatch> matches;
-  STANDOFF_RETURN_IF_ERROR(ParallelLoopLiftedStandoffJoin(
-      op, rows, ann_iters, candidates, index, candidate_ids,
-      /*iter_count=*/1, &matches, options));
-  out->clear();
-  out->reserve(matches.size());
-  for (const IterMatch& m : matches) out->push_back(m.pre);
-  return Status::OK();
+  if (&candidates == &index.entries()) {
+    return ParallelBasicStandoffJoinColumns(op, context, index.columns(),
+                                            candidate_ids, out, pool,
+                                            candidate_shards);
+  }
+  RegionColumnsData cols;
+  cols.Reserve(candidates.size());
+  for (const RegionEntry& e : candidates) cols.Append(e.start, e.end, e.id);
+  return ParallelBasicStandoffJoinColumns(op, context, cols.View(),
+                                          candidate_ids, out, pool,
+                                          candidate_shards);
 }
 
 Status ParallelNaiveStandoffJoin(StandoffOp op,

@@ -6,18 +6,20 @@
 //   * by ITERATION RANGE — iterations [0, iter_count) are split into
 //     contiguous blocks balanced by context-row count; each block joins
 //     only its own context rows, so blocks are independent;
-//   * by CANDIDATE SHARD — the start-sorted candidate array is split
-//     into contiguous chunks; a candidate matches in exactly one chunk
-//     (each chunk task sees the block's full context), so chunk outputs
+//   * by CANDIDATE SHARD — the start-sorted candidate columns are split
+//     into contiguous slices; a candidate matches in exactly one slice
+//     (each slice task sees the block's full context), so slice outputs
 //     are disjoint up to duplicate-id entries and merge cleanly.
 //
-// Every (block, shard) cell runs the unchanged serial kernel; cell
-// outputs are merged by packed (iter, pre) key and blocks concatenate
-// in iteration order, so the final result is BYTE-IDENTICAL to the
-// serial kernel's for any thread/shard configuration. reject-* is
-// computed as the matching select pass followed by a per-block
-// complement against the candidate universe — the same canonical form
-// the serial kernel produces.
+// Every (block, shard) cell runs the unchanged serial columnar kernel
+// on a column slice; cell outputs are merged by packed (iter, pre) key
+// and blocks concatenate in iteration order, so the final result is
+// BYTE-IDENTICAL to the serial kernel's for any thread/shard
+// configuration. reject-* is computed as the matching select pass
+// followed by a per-block complement against the candidate universe —
+// the same canonical form the serial kernel produces. Cells borrow
+// per-worker scratch arenas from a JoinArenaPool, so a warmed engine
+// runs its cells without kernel-internal allocation.
 #ifndef STANDOFF_STANDOFF_PARALLEL_JOIN_H_
 #define STANDOFF_STANDOFF_PARALLEL_JOIN_H_
 
@@ -40,14 +42,28 @@ struct ParallelJoinOptions {
   uint32_t iter_blocks = 0;
   /// Number of contiguous candidate shards per block (>= 1).
   uint32_t candidate_shards = 1;
+  /// Per-cell scratch arenas; null means per-cell local buffers.
+  JoinArenaPool* arenas = nullptr;
   /// Forwarded to each per-cell serial kernel. A non-null `trace`
   /// forces fully serial execution (trace order is part of the serial
   /// contract); `stats` receives per-cell sums (max for active_peak).
+  /// `join.arena` is only honored on the serial path — parallel cells
+  /// draw from `arenas` instead.
   JoinOptions join;
 };
 
-/// Parallel LoopLiftedStandoffJoin. Same contract and identical output
-/// as the serial kernel; see the header comment for the decomposition.
+/// Parallel loop-lifted join over candidate columns. Same contract and
+/// identical output as the serial columnar kernel; see the header
+/// comment for the decomposition.
+Status ParallelLoopLiftedStandoffJoinColumns(
+    StandoffOp op, const std::vector<IterRegion>& context,
+    const std::vector<uint32_t>& ann_iters, RegionColumns candidates,
+    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    std::vector<IterMatch>* out, const ParallelJoinOptions& options);
+
+/// AoS shim over ParallelLoopLiftedStandoffJoinColumns, kept for tests;
+/// `index.entries()` is detected and served zero-copy from the index's
+/// columns.
 Status ParallelLoopLiftedStandoffJoin(
     StandoffOp op, const std::vector<IterRegion>& context,
     const std::vector<uint32_t>& ann_iters,
@@ -55,8 +71,17 @@ Status ParallelLoopLiftedStandoffJoin(
     const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
     std::vector<IterMatch>* out, const ParallelJoinOptions& options);
 
-/// Parallel BasicStandoffJoin: the single merge pass split across
-/// candidate shards (there is only one iteration to split).
+/// Parallel BasicStandoffJoin over candidate columns: the single merge
+/// pass split across candidate shards (there is only one iteration to
+/// split).
+Status ParallelBasicStandoffJoinColumns(
+    StandoffOp op, const std::vector<AreaAnnotation>& context,
+    RegionColumns candidates, const std::vector<storage::Pre>& candidate_ids,
+    std::vector<storage::Pre>* out, ThreadPool* pool,
+    uint32_t candidate_shards, JoinArenaPool* arenas = nullptr,
+    JoinOptions join = JoinOptions());
+
+/// AoS shim over ParallelBasicStandoffJoinColumns, kept for tests.
 Status ParallelBasicStandoffJoin(StandoffOp op,
                                  const std::vector<AreaAnnotation>& context,
                                  const std::vector<RegionEntry>& candidates,

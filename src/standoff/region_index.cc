@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "storage/columns.h"
 
 namespace standoff {
 namespace so {
@@ -16,15 +17,36 @@ ResolvedConfig Resolve(const StandoffConfig& config,
   return resolved;
 }
 
+namespace {
+
+/// Rounds to int64 iff the result is representable. std::round matches
+/// llround's round-half-away-from-zero; 2^63 is exactly representable
+/// as a double and is the first value above every valid int64, so the
+/// half-open bound test is exact and the final cast never overflows.
+bool RoundToInt64(double value, int64_t* out) {
+  if (!std::isfinite(value)) return false;
+  const double rounded = std::round(value);
+  if (rounded < -9223372036854775808.0 || rounded >= 9223372036854775808.0) {
+    return false;
+  }
+  *out = static_cast<int64_t>(rounded);
+  return true;
+}
+
+}  // namespace
+
 bool ParseRegionValue(std::string_view text, int64_t* out) {
   text = TrimWhitespace(text);
   if (text.empty()) return false;
   if (text.find(':') != std::string_view::npos) {
     // Timecode: colon-separated parts, most significant first. Parts
     // accumulate as doubles so fractional components keep their scale;
-    // only the final total is rounded.
+    // only the final total is rounded. Non-leading parts are sub-unit
+    // digits and must lie in [0, 60) — "1:99:00" is malformed, not
+    // 99 minutes.
     double total = 0;
     size_t begin = 0;
+    bool leading = true;
     while (begin <= text.size()) {
       size_t colon = text.find(':', begin);
       std::string_view part = colon == std::string_view::npos
@@ -32,48 +54,133 @@ bool ParseRegionValue(std::string_view text, int64_t* out) {
                                   : text.substr(begin, colon - begin);
       StatusOr<double> value = ParseDouble(part);
       if (!value.ok()) return false;
+      if (!leading && (*value < 0 || *value >= 60)) return false;
       total = total * 60 + *value;
+      leading = false;
       if (colon == std::string_view::npos) break;
       begin = colon + 1;
     }
-    *out = static_cast<int64_t>(std::llround(total));
+    return RoundToInt64(total, out);
+  }
+  // Plain numbers. Integer-looking text takes the exact int64 path ONLY:
+  // doubles lose precision past 2^53 and would round some out-of-range
+  // integers (e.g. INT64_MIN - 1) back into range, so an integer that
+  // fails the strict parse is an overflow, not a fraction.
+  const size_t digits_from = text[0] == '+' || text[0] == '-' ? 1 : 0;
+  bool looks_integer = digits_from < text.size();
+  for (size_t i = digits_from; i < text.size() && looks_integer; ++i) {
+    looks_integer = text[i] >= '0' && text[i] <= '9';
+  }
+  if (looks_integer) {
+    StatusOr<int64_t> integer = ParseInt64(text);
+    if (!integer.ok()) return false;
+    *out = *integer;
     return true;
   }
   StatusOr<double> value = ParseDouble(text);
   if (!value.ok()) return false;
-  *out = static_cast<int64_t>(std::llround(*value));
-  return true;
+  return RoundToInt64(*value, out);
+}
+
+void RegionColumnsData::Reserve(size_t n) {
+  start_.reserve(n);
+  end_.reserve(n);
+  id_.reserve(n);
+}
+
+void RegionColumnsData::Append(int64_t start, int64_t end, storage::Pre id) {
+  if (!start_.empty() && start < start_.back()) start_sorted_ = false;
+  start_.push_back(start);
+  end_.push_back(end);
+  id_.push_back(id);
+}
+
+void RegionColumnsData::Clear() {
+  start_.clear();
+  end_.clear();
+  id_.clear();
+  start_sorted_ = true;
+}
+
+void RegionColumnsData::SortCanonical() {
+  const auto less = [this](uint32_t a, uint32_t b) {
+    if (start_[a] != start_[b]) return start_[a] < start_[b];
+    if (end_[a] != end_[b]) return end_[a] < end_[b];
+    return id_[a] < id_[b];
+  };
+  bool sorted = true;
+  for (size_t i = 1; i < size(); ++i) {
+    if (less(static_cast<uint32_t>(i), static_cast<uint32_t>(i - 1))) {
+      sorted = false;
+      break;
+    }
+  }
+  if (!sorted) {
+    const std::vector<uint32_t> perm = storage::SortPermutation(size(), less);
+    storage::ApplyPermutation(perm, &start_);
+    storage::ApplyPermutation(perm, &end_);
+    storage::ApplyPermutation(perm, &id_);
+  }
+  start_sorted_ = true;
+}
+
+void RegionColumnsData::GatherFrom(const RegionColumnsData& src,
+                                   const std::vector<uint32_t>& rows) {
+  storage::GatherColumn(src.start_, rows, &start_);
+  storage::GatherColumn(src.end_, rows, &end_);
+  storage::GatherColumn(src.id_, rows, &id_);
+  // Ascending rows gathered from a start-sorted source into an empty
+  // table stay start-sorted; appending after prior rows loses the
+  // promise until SortCanonical runs.
+  start_sorted_ =
+      start_sorted_ && src.start_sorted_ && start_.size() == rows.size();
+}
+
+RegionColumns RegionColumnsData::View() const {
+  RegionColumns view;
+  view.start = start_.data();
+  view.end = end_.data();
+  view.id = id_.data();
+  view.size = size();
+  view.start_sorted = start_sorted_;
+  return view;
 }
 
 void RegionIndex::BuildIdIndex() {
-  std::vector<size_t> order(entries_.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return entries_[a].id < entries_[b].id;
-  });
+  rows_by_id_ = storage::SortPermutation(
+      cols_.size(), [this](uint32_t a, uint32_t b) {
+        return cols_.id()[a] < cols_.id()[b];
+      });
   annotated_ids_.clear();
   regions_by_id_.clear();
-  annotated_ids_.reserve(entries_.size());
-  regions_by_id_.reserve(entries_.size());
-  for (size_t i : order) {
-    const RegionEntry& e = entries_[i];
-    if (!annotated_ids_.empty() && annotated_ids_.back() == e.id) continue;
-    annotated_ids_.push_back(e.id);
-    regions_by_id_.emplace_back(e.start, e.end);
+  annotated_ids_.reserve(cols_.size());
+  regions_by_id_.reserve(cols_.size());
+  for (uint32_t i : rows_by_id_) {
+    const storage::Pre id = cols_.id()[i];
+    if (!annotated_ids_.empty() && annotated_ids_.back() == id) continue;
+    annotated_ids_.push_back(id);
+    regions_by_id_.emplace_back(cols_.start()[i], cols_.end()[i]);
   }
 }
 
 RegionIndex RegionIndex::FromEntries(std::vector<RegionEntry> entries) {
   RegionIndex index;
-  index.entries_ = std::move(entries);
-  std::sort(index.entries_.begin(), index.entries_.end(),
-            [](const RegionEntry& a, const RegionEntry& b) {
-              if (a.start != b.start) return a.start < b.start;
-              if (a.end != b.end) return a.end < b.end;
-              return a.id < b.id;
-            });
+  index.cols_.Reserve(entries.size());
+  for (const RegionEntry& e : entries) index.cols_.Append(e.start, e.end, e.id);
+  index.cols_.SortCanonical();
   index.BuildIdIndex();
   return index;
+}
+
+RegionColumns RegionIndex::columns() const { return cols_.View(); }
+
+const std::vector<RegionEntry>& RegionIndex::entries() const {
+  std::call_once(aos_->once, [this] {
+    const RegionColumns view = cols_.View();
+    aos_->rows.resize(view.size);
+    for (size_t i = 0; i < view.size; ++i) aos_->rows[i] = view.row(i);
+  });
+  return aos_->rows;
 }
 
 StatusOr<RegionIndex> RegionIndex::Build(const storage::NodeTable& table,
@@ -107,16 +214,44 @@ StatusOr<RegionIndex> RegionIndex::Build(const storage::NodeTable& table,
   return FromEntries(std::move(entries));
 }
 
+RegionColumnsData RegionIndex::IntersectColumns(
+    const std::vector<storage::Pre>& ids) const {
+  const size_t n = cols_.size();
+  if (ids.empty() || n == 0) return RegionColumnsData();
+  // Selected row positions, ascending = start order either way.
+  std::vector<uint32_t> selected;
+  selected.reserve(std::min(ids.size(), n));
+  // Dense pushdown (|ids| within a constant factor of the index): one
+  // linear merge of `ids` against the id-sorted row permutation beats
+  // n binary searches. Sparse: per-entry binary search, output-bounded
+  // by construction.
+  if (ids.size() * 8 >= n) {
+    size_t k = 0;
+    for (uint32_t row : rows_by_id_) {
+      const storage::Pre id = cols_.id()[row];
+      while (k < ids.size() && ids[k] < id) ++k;
+      if (k == ids.size()) break;
+      if (ids[k] == id) selected.push_back(row);
+    }
+    std::sort(selected.begin(), selected.end());
+  } else {
+    for (uint32_t row = 0; row < n; ++row) {
+      if (std::binary_search(ids.begin(), ids.end(), cols_.id()[row])) {
+        selected.push_back(row);
+      }
+    }
+  }
+  RegionColumnsData result;
+  result.GatherFrom(cols_, selected);
+  return result;
+}
+
 std::vector<RegionEntry> RegionIndex::Intersect(
     const std::vector<storage::Pre>& ids) const {
-  std::vector<RegionEntry> out;
-  if (ids.empty() || entries_.empty()) return out;
-  // Output is at most min(|ids|, |entries|); reserving |ids| covers the
-  // common name-test case where every id is annotated.
-  out.reserve(std::min(ids.size(), entries_.size()));
-  for (const RegionEntry& e : entries_) {
-    if (std::binary_search(ids.begin(), ids.end(), e.id)) out.push_back(e);
-  }
+  const RegionColumnsData cols = IntersectColumns(ids);
+  const RegionColumns view = cols.View();
+  std::vector<RegionEntry> out(view.size);
+  for (size_t i = 0; i < view.size; ++i) out[i] = view.row(i);
   return out;
 }
 

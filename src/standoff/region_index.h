@@ -1,13 +1,21 @@
-// The region index: the sorted, contiguous array of {start, end, id}
-// annotation regions that every StandOff MergeJoin scans. Built once per
+// The region index: the sorted set of {start, end, id} annotation
+// regions that every StandOff MergeJoin scans, stored as separate
+// contiguous start[]/end[]/id[] columns (struct-of-arrays) so the merge
+// kernels stream one cache-friendly column per comparison and can
+// binary-search/gallop over the start column directly. Built once per
 // (document, standoff config) and cached; kept sorted by region start so
 // each join is a single forward pass.
+//
+// The array-of-structs RegionEntry form survives only as a shim:
+// `entries()` and `Intersect()` keep the tests and the brute-force
+// oracle readable; nothing on the query hot path touches them.
 #ifndef STANDOFF_STANDOFF_REGION_INDEX_H_
 #define STANDOFF_STANDOFF_REGION_INDEX_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,6 +37,67 @@ struct RegionEntry {
 inline bool operator==(const RegionEntry& a, const RegionEntry& b) {
   return a.start == b.start && a.end == b.end && a.id == b.id;
 }
+
+/// Borrowed columnar view over region columns: three parallel arrays of
+/// `size` rows. `start_sorted` is the caller's promise that the start
+/// column is non-decreasing (true by construction for RegionIndex views
+/// and their slices); kernels verify sequences that lack the promise.
+struct RegionColumns {
+  const int64_t* start = nullptr;
+  const int64_t* end = nullptr;
+  const storage::Pre* id = nullptr;
+  size_t size = 0;
+  bool start_sorted = false;
+
+  bool empty() const { return size == 0; }
+
+  /// The sub-view of rows [lo, hi); sortedness is inherited.
+  RegionColumns Slice(size_t lo, size_t hi) const {
+    RegionColumns s;
+    s.start = start + lo;
+    s.end = end + lo;
+    s.id = id + lo;
+    s.size = hi - lo;
+    s.start_sorted = start_sorted;
+    return s;
+  }
+
+  RegionEntry row(size_t i) const { return RegionEntry{start[i], end[i], id[i]}; }
+};
+
+/// Owning struct-of-arrays region columns — the builder behind
+/// RegionIndex and the name-test pushdown candidate sets.
+class RegionColumnsData {
+ public:
+  void Reserve(size_t n);
+  void Append(int64_t start, int64_t end, storage::Pre id);
+  void Clear();
+  size_t size() const { return start_.size(); }
+
+  /// Sorts all three columns by (start, end, id) via one permutation.
+  void SortCanonical();
+
+  /// Appends src's rows at the (ascending) positions in `rows` to this
+  /// table, column by column. Requires `rows` sorted, so src's start
+  /// order — and its sortedness promise — carry over.
+  void GatherFrom(const RegionColumnsData& src,
+                  const std::vector<uint32_t>& rows);
+
+  /// View over the columns. `start_sorted` reflects whether rows were
+  /// only ever appended in non-decreasing start order or SortCanonical
+  /// ran since the last out-of-order append.
+  RegionColumns View() const;
+
+  const std::vector<int64_t>& start() const { return start_; }
+  const std::vector<int64_t>& end() const { return end_; }
+  const std::vector<storage::Pre>& id() const { return id_; }
+
+ private:
+  std::vector<int64_t> start_;
+  std::vector<int64_t> end_;
+  std::vector<storage::Pre> id_;
+  bool start_sorted_ = true;  // vacuously, while empty
+};
 
 /// User-facing configuration: which attributes carry region boundaries
 /// and how their values are interpreted. `type` is advisory ("auto"
@@ -52,6 +121,9 @@ ResolvedConfig Resolve(const StandoffConfig& config,
 
 /// Parses a region boundary value: a plain (possibly fractional) number,
 /// or a colon-separated timecode ("1:04" -> 64, "1:02:03" -> 3723).
+/// Rejects values whose rounded magnitude cannot be represented in
+/// int64, and timecodes with out-of-range (>= 60 or negative) or empty
+/// non-leading parts ("1:99:00", "::").
 bool ParseRegionValue(std::string_view text, int64_t* out);
 
 class RegionIndex {
@@ -68,8 +140,15 @@ class RegionIndex {
   static StatusOr<RegionIndex> Build(const storage::NodeTable& table,
                                      const ResolvedConfig& config);
 
-  /// All entries, sorted by (start, end, id).
-  const std::vector<RegionEntry>& entries() const { return entries_; }
+  /// Columnar view over all entries, sorted by (start, end, id) — what
+  /// the join kernels consume.
+  RegionColumns columns() const;
+
+  /// AoS shim over the same rows, kept for tests and the oracle.
+  /// Materialized lazily on first call (thread-safe), so production
+  /// indexes — whose queries only touch the columns — never pay the
+  /// duplicate row storage.
+  const std::vector<RegionEntry>& entries() const;
 
   /// All annotated node ids, sorted ascending (document order). This is
   /// the candidate universe the reject- operators complement against.
@@ -77,11 +156,17 @@ class RegionIndex {
     return annotated_ids_;
   }
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return cols_.size(); }
 
-  /// Entries whose id occurs in `ids` (sorted ascending), in index
-  /// (start) order: the name-test pushdown intersection. One scan of the
-  /// index, O(log |ids|) per entry.
+  /// Columns of the entries whose id occurs in `ids` (sorted ascending),
+  /// in index (start) order: the name-test pushdown intersection.
+  /// Adaptive: a linear merge over the id-sorted entry permutation when
+  /// `ids` is dense relative to the index (O(n + m)), a per-entry binary
+  /// search into `ids` when it is sparse (O(n log m)).
+  RegionColumnsData IntersectColumns(
+      const std::vector<storage::Pre>& ids) const;
+
+  /// AoS shim over IntersectColumns, kept for tests.
   std::vector<RegionEntry> Intersect(const std::vector<storage::Pre>& ids)
       const;
 
@@ -89,10 +174,21 @@ class RegionIndex {
   bool RegionOf(storage::Pre id, int64_t* start, int64_t* end) const;
 
  private:
-  std::vector<RegionEntry> entries_;       // sorted by (start, end, id)
+  /// Lazily-built AoS mirror of the columns; heap-held so RegionIndex
+  /// stays movable and the entries() reference stays stable.
+  struct AosShim {
+    std::once_flag once;
+    std::vector<RegionEntry> rows;
+  };
+
+  RegionColumnsData cols_;                 // sorted by (start, end, id)
+  mutable std::unique_ptr<AosShim> aos_ = std::make_unique<AosShim>();
   std::vector<storage::Pre> annotated_ids_;  // sorted by id
   // Parallel to annotated_ids_: that id's (first) region, for RegionOf.
   std::vector<std::pair<int64_t, int64_t>> regions_by_id_;
+  // Row positions permuted into ascending-id order: the dense-side
+  // merge input for IntersectColumns.
+  std::vector<uint32_t> rows_by_id_;
 
   void BuildIdIndex();
 };

@@ -1,0 +1,50 @@
+// Struct-of-arrays column utilities: permutation sort for keeping a set
+// of parallel columns in one order without materializing row structs.
+// Used by the standoff region index to maintain its columnar layout and
+// by anything else that keeps SoA tables sorted.
+#ifndef STANDOFF_STORAGE_COLUMNS_H_
+#define STANDOFF_STORAGE_COLUMNS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace standoff {
+namespace storage {
+
+/// The permutation that sorts row indices [0, n) by `less(a, b)`
+/// (stable, so equal rows keep their input order).
+template <typename Less>
+std::vector<uint32_t> SortPermutation(size_t n, Less less) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(), less);
+  return perm;
+}
+
+/// Reorders one column so that col'[i] = col[perm[i]]. Applied to every
+/// column of an SoA table, this materializes the sorted order computed
+/// once by SortPermutation.
+template <typename T>
+void ApplyPermutation(const std::vector<uint32_t>& perm,
+                      std::vector<T>* col) {
+  std::vector<T> reordered;
+  reordered.reserve(col->size());
+  for (uint32_t i : perm) reordered.push_back((*col)[i]);
+  *col = std::move(reordered);
+}
+
+/// Gathers the subset of a column selected by sorted `rows` indices,
+/// appending to `*out` — the columnar intersection/filter primitive.
+template <typename T>
+void GatherColumn(const std::vector<T>& col,
+                  const std::vector<uint32_t>& rows, std::vector<T>* out) {
+  out->reserve(out->size() + rows.size());
+  for (uint32_t i : rows) out->push_back(col[i]);
+}
+
+}  // namespace storage
+}  // namespace standoff
+
+#endif  // STANDOFF_STORAGE_COLUMNS_H_

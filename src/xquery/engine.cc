@@ -337,6 +337,10 @@ ThreadPool* Engine::ExecPool() {
   return pool_.get();
 }
 
+so::JoinArenaPool* Engine::Arenas() {
+  return options_.exec.reuse_scratch ? &arena_pool_ : nullptr;
+}
+
 StatusOr<const so::RegionIndex*> Engine::GetIndex(storage::DocId doc) {
   return index_cache_.Get(*store_, doc, standoff_config_);
 }
@@ -357,7 +361,7 @@ StatusOr<const Engine::CandidateSet*> Engine::GetCandidates(
   std::set_intersection((*index)->annotated_ids().begin(),
                         (*index)->annotated_ids().end(), name_pres.begin(),
                         name_pres.end(), std::back_inserter(set.ids));
-  set.entries = (*index)->Intersect(set.ids);
+  set.entries = (*index)->IntersectColumns(set.ids);
   auto inserted = candidate_cache_.emplace(key, std::move(set));
   return &inserted.first->second;
 }
@@ -426,16 +430,17 @@ Status Engine::StandoffLoopLifted(so::StandoffOp op, storage::DocId doc,
   parallel.pool = ExecPool();
   parallel.iter_blocks = options_.exec.num_threads;
   parallel.candidate_shards = options_.exec.shard_count;
+  parallel.arenas = Arenas();
   parallel.join = options_.join;
   if (step.any_name) {
-    return so::ParallelLoopLiftedStandoffJoin(
-        op, context, ann_iters, (*index)->entries(), **index,
+    return so::ParallelLoopLiftedStandoffJoinColumns(
+        op, context, ann_iters, (*index)->columns(),
         (*index)->annotated_ids(), iter_count, matches, parallel);
   }
   StatusOr<const CandidateSet*> candidates = GetCandidates(doc, step);
   if (!candidates.ok()) return candidates.status();
-  return so::ParallelLoopLiftedStandoffJoin(
-      op, context, ann_iters, (*candidates)->entries, **index,
+  return so::ParallelLoopLiftedStandoffJoinColumns(
+      op, context, ann_iters, (*candidates)->entries.View(),
       (*candidates)->ids, iter_count, matches, parallel);
 }
 
@@ -458,10 +463,14 @@ Status Engine::StandoffBasicPerIteration(
           uint32_t fanout, std::vector<so::IterMatch>* out) -> Status {
         STANDOFF_RETURN_IF_ERROR(CheckDeadline());
         std::vector<storage::Pre> pres;
-        STANDOFF_RETURN_IF_ERROR(so::ParallelBasicStandoffJoin(
-            op, iter_context, (*index)->entries(), **index,
+        so::JoinOptions join = options_.join;
+        join.trace = nullptr;  // per-iteration calls have no trace contract
+        join.stats = nullptr;
+        join.arena = nullptr;  // groups may run concurrently: pool arenas only
+        STANDOFF_RETURN_IF_ERROR(so::ParallelBasicStandoffJoinColumns(
+            op, iter_context, (*index)->columns(),
             (*index)->annotated_ids(), &pres, fanout > 1 ? pool : nullptr,
-            fanout));
+            fanout, Arenas(), join));
         for (storage::Pre pre : pres) {
           if (NameMatches(step, doc, pre)) {
             out->push_back(so::IterMatch{iter, pre});

@@ -57,6 +57,10 @@ const char* StandoffModeName(StandoffMode mode);
 struct ExecOptions {
   uint32_t num_threads = 1;  // total threads incl. the caller; 1 = serial
   uint32_t shard_count = 1;  // candidate shards per parallel join
+  /// Reuse the engine-owned merge-scratch arenas across queries (the
+  /// allocation-free steady state). Off = every join call uses local
+  /// buffers; only useful for memory diagnostics.
+  bool reuse_scratch = true;
 };
 
 struct EngineOptions {
@@ -113,10 +117,10 @@ class Engine {
 
   StatusOr<const so::RegionIndex*> GetIndex(storage::DocId doc);
 
-  /// Name-test pushdown: cached (entries ∩ name, ids ∩ name) per
+  /// Name-test pushdown: cached (columns ∩ name, ids ∩ name) per
   /// (doc, name). any_name uses the full index.
   struct CandidateSet {
-    std::vector<so::RegionEntry> entries;
+    so::RegionColumnsData entries;
     std::vector<storage::Pre> ids;
   };
   StatusOr<const CandidateSet*> GetCandidates(storage::DocId doc,
@@ -131,6 +135,11 @@ class Engine {
   /// serial.
   ThreadPool* ExecPool();
 
+  /// The engine-owned merge-scratch arenas (ExecOptions::reuse_scratch):
+  /// serial joins and every parallel (block, shard) cell borrow from
+  /// here, so a warmed engine runs its merge passes allocation-free.
+  so::JoinArenaPool* Arenas();
+
   const storage::DocumentStore* store_;
   StandoffMode mode_ = StandoffMode::kLoopLifted;
   EngineOptions options_;
@@ -140,6 +149,7 @@ class Engine {
       candidate_cache_;
   std::unique_ptr<ThreadPool> pool_;
   size_t pool_workers_ = 0;
+  so::JoinArenaPool arena_pool_;
   Timer deadline_timer_;
   double deadline_seconds_ = 0;  // active budget for the running Evaluate
 };

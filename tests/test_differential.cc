@@ -122,6 +122,7 @@ static void TestDifferential() {
       so::StandoffOp::kSelectNarrow, so::StandoffOp::kSelectWide,
       so::StandoffOp::kRejectNarrow, so::StandoffOp::kRejectWide};
   std::map<uint32_t, std::unique_ptr<ThreadPool>> pools;
+  so::JoinArenaPool arena_pool;  // shared across every parallel config
   int comparisons = 0;
   for (uint64_t seed = 1; seed <= 30; ++seed) {
     const Workload w = MakeWorkload(seed);
@@ -130,17 +131,24 @@ static void TestDifferential() {
           op, w.context, w.index.entries(), w.index.annotated_ids(),
           w.iter_count);
 
-      // Serial loop-lifted kernel, both active structures.
+      // Serial loop-lifted kernel: both active structures, with and
+      // without skip-based (galloping) merging, sharing one arena so
+      // buffer reuse is exercised across differing workloads too.
+      so::JoinArena arena;
       for (so::ActiveListKind kind :
            {so::ActiveListKind::kSortedList, so::ActiveListKind::kEndHeap}) {
-        so::JoinOptions join;
-        join.active_list = kind;
-        std::vector<IterMatch> lifted;
-        CHECK_OK(so::LoopLiftedStandoffJoin(
-            op, w.context, w.ann_iters, w.index.entries(), w.index,
-            w.index.annotated_ids(), w.iter_count, &lifted, join));
-        CHECK(lifted == oracle);
-        ++comparisons;
+        for (bool gallop : {true, false}) {
+          so::JoinOptions join;
+          join.active_list = kind;
+          join.gallop = gallop;
+          join.arena = &arena;
+          std::vector<IterMatch> lifted;
+          CHECK_OK(so::LoopLiftedStandoffJoin(
+              op, w.context, w.ann_iters, w.index.entries(), w.index,
+              w.index.annotated_ids(), w.iter_count, &lifted, join));
+          CHECK(lifted == oracle);
+          ++comparisons;
+        }
       }
 
       // Parallel loop-lifted kernel across the full thread/shard grid.
@@ -150,8 +158,12 @@ static void TestDifferential() {
           options.pool = PoolFor(pools, threads);
           options.iter_blocks = threads;
           options.candidate_shards = shards;
+          options.arenas = &arena_pool;
           if (threads == 8 && shards == 7) {
             options.join.active_list = so::ActiveListKind::kEndHeap;
+          }
+          if (threads == 4 && shards == 2) {
+            options.join.gallop = false;  // lock the non-skipping path too
           }
           std::vector<IterMatch> lifted;
           CHECK_OK(so::ParallelLoopLiftedStandoffJoin(
@@ -188,7 +200,7 @@ static void TestDifferential() {
       }
     }
   }
-  CHECK_EQ(comparisons, 30 * 4 * (2 + 12 + 3 + 2));
+  CHECK_EQ(comparisons, 30 * 4 * (4 + 12 + 3 + 2));
 }
 
 int main() {

@@ -1,0 +1,210 @@
+// Boundary tests for the skip-based (galloping) merge path: skipping
+// must land exactly on a context's start, never skip past a matchable
+// candidate, handle skip-past-end cleanly, and behave on single-entry
+// runs. Every case is cross-checked against the non-galloping kernel
+// and the brute-force oracle, and the skip counters are pinned where
+// the skip set is unambiguous.
+#include "common/rng.h"
+#include "standoff/merge_join.h"
+#include "tests/harness.h"
+#include "tests/oracle.h"
+
+using namespace standoff;
+using so::IterMatch;
+using so::IterRegion;
+using so::RegionEntry;
+using storage::Pre;
+
+namespace {
+
+/// Joins with galloping on and off, checks both equal the oracle, and
+/// returns the galloping run's stats.
+so::JoinStats CheckBothPaths(so::StandoffOp op,
+                             const std::vector<IterRegion>& context,
+                             const std::vector<uint32_t>& ann_iters,
+                             const so::RegionIndex& index,
+                             uint32_t iter_count) {
+  const std::vector<IterMatch> oracle = test::OracleStandoffJoin(
+      op, context, index.entries(), index.annotated_ids(), iter_count);
+  so::JoinStats stats;
+  std::vector<IterMatch> with_gallop, without_gallop;
+  so::JoinOptions on;
+  on.gallop = true;
+  on.stats = &stats;
+  CHECK_OK(so::LoopLiftedStandoffJoin(op, context, ann_iters,
+                                      index.entries(), index,
+                                      index.annotated_ids(), iter_count,
+                                      &with_gallop, on));
+  so::JoinOptions off;
+  off.gallop = false;
+  CHECK_OK(so::LoopLiftedStandoffJoin(op, context, ann_iters,
+                                      index.entries(), index,
+                                      index.annotated_ids(), iter_count,
+                                      &without_gallop, off));
+  CHECK(with_gallop == oracle);
+  CHECK(without_gallop == oracle);
+  return stats;
+}
+
+}  // namespace
+
+static void TestSkipToExactStart() {
+  // A long run of early candidates, then one candidate starting EXACTLY
+  // at the context's start: the gallop must stop on it, not beyond.
+  std::vector<RegionEntry> entries;
+  for (Pre i = 0; i < 50; ++i) {
+    entries.push_back(RegionEntry{static_cast<int64_t>(i) * 10,
+                                  static_cast<int64_t>(i) * 10 + 5, i + 2});
+  }
+  entries.push_back(RegionEntry{1000, 1005, 100});  // == context start
+  entries.push_back(RegionEntry{1001, 1004, 101});
+  so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+  const std::vector<IterRegion> context{{0, 1000, 2000, 0}};
+  const so::JoinStats stats = CheckBothPaths(
+      so::StandoffOp::kSelectNarrow, context, {0}, index, 1);
+  CHECK_EQ(stats.candidates_skipped, 50u);  // exactly the early run
+  CHECK_EQ(stats.candidates_scanned, 2u);
+}
+
+static void TestSkipPastEnd() {
+  // All candidates lie before the only context: the gallop falls off the
+  // end of the columns without probing anything.
+  std::vector<RegionEntry> entries;
+  for (Pre i = 0; i < 40; ++i) {
+    entries.push_back(RegionEntry{static_cast<int64_t>(i),
+                                  static_cast<int64_t>(i) + 3, i + 2});
+  }
+  so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+  const std::vector<IterRegion> context{{0, 5000, 6000, 0}};
+  const so::JoinStats stats = CheckBothPaths(
+      so::StandoffOp::kSelectNarrow, context, {0}, index, 1);
+  CHECK_EQ(stats.candidates_skipped, 40u);
+  CHECK_EQ(stats.candidates_scanned, 0u);
+  CHECK_EQ(stats.matches_emitted, 0u);
+}
+
+static void TestNoContextAtAllSkipsEverything() {
+  // Context list exhausted immediately (reject still yields the full
+  // universe per live iteration — here there is none).
+  std::vector<RegionEntry> entries{{10, 20, 2}, {30, 40, 3}};
+  so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+  for (so::StandoffOp op : {so::StandoffOp::kSelectNarrow,
+                            so::StandoffOp::kSelectWide,
+                            so::StandoffOp::kRejectNarrow,
+                            so::StandoffOp::kRejectWide}) {
+    CheckBothPaths(op, {}, {}, index, 1);
+  }
+}
+
+static void TestSingleCandidateRuns() {
+  // Alternating lone candidates and lone contexts: every skip run has
+  // length 0 or 1, the degenerate gallop sizes.
+  std::vector<RegionEntry> entries{
+      {0, 1, 2}, {100, 101, 3}, {200, 201, 4}, {300, 301, 5}};
+  so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+  std::vector<IterRegion> context{{0, 95, 105, 0}, {1, 295, 305, 1}};
+  const so::JoinStats stats = CheckBothPaths(
+      so::StandoffOp::kSelectNarrow, context, {0, 1}, index, 2);
+  // Candidates at 0 and 200 are skipped (no live context), 100 and 300
+  // are probed and match.
+  CHECK_EQ(stats.candidates_skipped, 2u);
+  CHECK_EQ(stats.candidates_scanned, 2u);
+}
+
+static void TestZeroWidthAtSkipBoundary() {
+  // Zero-width candidate exactly at a zero-width context: both gallop
+  // boundary conditions (start == start, end == start) at once.
+  std::vector<RegionEntry> entries{{5, 5, 2}, {50, 50, 3}, {70, 70, 4}};
+  so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+  std::vector<IterRegion> context{{0, 50, 50, 0}};
+  const so::JoinStats stats = CheckBothPaths(
+      so::StandoffOp::kSelectNarrow, context, {0}, index, 1);
+  CHECK_EQ(stats.candidates_scanned, 1u);  // only the candidate at 50
+  CHECK_EQ(stats.candidates_skipped, 2u);
+}
+
+static void TestDeadContextSkip() {
+  // Contexts that end before the next candidate even starts are never
+  // activated; a live one still is.
+  std::vector<RegionEntry> entries{{1000, 1010, 2}};
+  so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+  std::vector<IterRegion> context{
+      {0, 0, 10, 0}, {1, 20, 30, 1}, {2, 990, 2000, 2}};
+  const so::JoinStats stats = CheckBothPaths(
+      so::StandoffOp::kSelectNarrow, context, {0, 1, 2}, index, 3);
+  CHECK_EQ(stats.contexts_dead, 2u);
+  CHECK_EQ(stats.active_peak, 1u);
+}
+
+static void TestWideGallopBoundaries() {
+  // Wide (overlap) pass: a candidate ending exactly one unit before the
+  // next context is dead; one touching it is not (inclusive bounds).
+  std::vector<RegionEntry> entries{
+      {0, 99, 2},    // dead: ends before context start 100
+      {10, 100, 3},  // alive: touches the context start
+      {500, 600, 4}  // overlaps the second context
+  };
+  so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+  std::vector<IterRegion> context{{0, 100, 110, 0}, {1, 550, 560, 1}};
+  const so::JoinStats stats = CheckBothPaths(
+      so::StandoffOp::kSelectWide, context, {0, 1}, index, 2);
+  CHECK_EQ(stats.candidates_skipped, 1u);
+  CheckBothPaths(so::StandoffOp::kRejectWide, context, {0, 1}, index, 2);
+}
+
+static void TestGallopAgainstOracleRandomized() {
+  // Sparse randomized sweep biased to trigger long skips, both kinds of
+  // active list.
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    const int64_t universe = 100000;
+    std::vector<RegionEntry> entries;
+    const size_t cands = 50 + static_cast<size_t>(rng.UniformRange(0, 200));
+    for (size_t i = 0; i < cands; ++i) {
+      const int64_t start = rng.UniformRange(0, universe);
+      entries.push_back(RegionEntry{start, start + rng.UniformRange(0, 40),
+                                    static_cast<Pre>(i + 2)});
+    }
+    so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+    std::vector<IterRegion> context;
+    std::vector<uint32_t> ann_iters;
+    const uint32_t iters = 1 + static_cast<uint32_t>(rng.UniformRange(0, 4));
+    for (uint32_t it = 0; it < iters; ++it) {
+      // Tiny clustered contexts: ~0.2% coverage each.
+      const int64_t start = rng.UniformRange(0, universe);
+      const uint32_t ann = static_cast<uint32_t>(ann_iters.size());
+      ann_iters.push_back(it);
+      context.push_back(
+          IterRegion{it, start, start + rng.UniformRange(0, 200), ann});
+    }
+    for (so::StandoffOp op : {so::StandoffOp::kSelectNarrow,
+                              so::StandoffOp::kSelectWide,
+                              so::StandoffOp::kRejectNarrow,
+                              so::StandoffOp::kRejectWide}) {
+      const std::vector<IterMatch> oracle = test::OracleStandoffJoin(
+          op, context, index.entries(), index.annotated_ids(), iters);
+      for (so::ActiveListKind kind : {so::ActiveListKind::kSortedList,
+                                      so::ActiveListKind::kEndHeap}) {
+        so::JoinOptions options;
+        options.active_list = kind;
+        std::vector<IterMatch> out;
+        CHECK_OK(so::LoopLiftedStandoffJoin(
+            op, context, ann_iters, index.entries(), index,
+            index.annotated_ids(), iters, &out, options));
+        CHECK(out == oracle);
+      }
+    }
+  }
+}
+
+int main() {
+  RUN_TEST(TestSkipToExactStart);
+  RUN_TEST(TestSkipPastEnd);
+  RUN_TEST(TestNoContextAtAllSkipsEverything);
+  RUN_TEST(TestSingleCandidateRuns);
+  RUN_TEST(TestZeroWidthAtSkipBoundary);
+  RUN_TEST(TestDeadContextSkip);
+  RUN_TEST(TestWideGallopBoundaries);
+  RUN_TEST(TestGallopAgainstOracleRandomized);
+  TEST_MAIN();
+}

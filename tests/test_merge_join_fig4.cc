@@ -53,18 +53,26 @@ static void TestLoopLiftedSelectNarrow() {
   for (so::ActiveListKind kind :
        {so::ActiveListKind::kSortedList, so::ActiveListKind::kEndHeap}) {
     for (bool prune : {true, false}) {
-      so::JoinOptions options;
-      options.active_list = kind;
-      options.prune_contained_contexts = prune;
-      so::JoinStats stats;
-      options.stats = &stats;
-      std::vector<IterMatch> out;
-      CHECK_OK(so::LoopLiftedStandoffJoin(
-          so::StandoffOp::kSelectNarrow, Fig4Context(), ann_iters,
-          index.entries(), index, index.annotated_ids(), 2, &out, options));
-      CheckFig4Result(out);
-      CHECK_EQ(stats.candidates_scanned, 4u);
-      CHECK(stats.active_peak >= 1);
+      for (bool gallop : {true, false}) {
+        so::JoinOptions options;
+        options.active_list = kind;
+        options.prune_contained_contexts = prune;
+        options.gallop = gallop;
+        so::JoinStats stats;
+        options.stats = &stats;
+        std::vector<IterMatch> out;
+        CHECK_OK(so::LoopLiftedStandoffJoin(
+            so::StandoffOp::kSelectNarrow, Fig4Context(), ann_iters,
+            index.entries(), index, index.annotated_ids(), 2, &out, options));
+        CheckFig4Result(out);
+        // Every candidate is either probed or provably-unmatchable and
+        // galloped over; without galloping all four are probed. In the
+        // Figure 4 shape r3=[40,60] lies between c3's retirement and
+        // c4's activation, so it is exactly the galloped one.
+        CHECK_EQ(stats.candidates_scanned + stats.candidates_skipped, 4u);
+        CHECK_EQ(stats.candidates_skipped, gallop ? 1u : 0u);
+        CHECK(stats.active_peak >= 1);
+      }
     }
   }
 }

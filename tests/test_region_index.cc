@@ -1,3 +1,6 @@
+#include <algorithm>
+
+#include "common/rng.h"
 #include "standoff/region_index.h"
 #include "tests/harness.h"
 
@@ -78,6 +81,67 @@ static void TestIntersect() {
   CHECK(index.Intersect({}).empty());
 }
 
+static void TestColumnsMirrorEntries() {
+  std::vector<RegionEntry> entries{
+      {50, 60, 4}, {10, 20, 2}, {10, 15, 3}, {10, 15, 7}};
+  so::RegionIndex index = so::RegionIndex::FromEntries(entries);
+  const so::RegionColumns cols = index.columns();
+  CHECK_EQ(cols.size, index.entries().size());
+  CHECK(cols.start_sorted);
+  for (size_t i = 0; i < cols.size; ++i) {
+    CHECK(cols.row(i) == index.entries()[i]);
+  }
+  // Slices keep the columnar promise and the row content.
+  const so::RegionColumns slice = cols.Slice(1, 3);
+  CHECK_EQ(slice.size, 2u);
+  CHECK(slice.start_sorted);
+  CHECK(slice.row(0) == index.entries()[1]);
+  // An empty index yields a valid empty view.
+  so::RegionIndex empty;
+  CHECK_EQ(empty.columns().size, 0u);
+  CHECK(empty.columns().start_sorted);
+}
+
+static void TestIntersectAdaptivePathsAgree() {
+  // Cross the dense (linear-merge) and sparse (binary-search) branches
+  // of the adaptive intersection over workloads with duplicate ids and
+  // interleaved starts, and check they produce identical columns.
+  Rng rng(77);
+  std::vector<RegionEntry> entries;
+  const size_t n = 500;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t start = rng.UniformRange(0, 5000);
+    // ~20% duplicate ids: multi-region annotations.
+    const Pre id = static_cast<Pre>(2 + (i % 5 == 0 ? i / 2 : i));
+    entries.push_back(RegionEntry{start, start + rng.UniformRange(0, 80), id});
+  }
+  so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+
+  // Sparse selection: well under size/8 triggers the binary-search arm.
+  std::vector<Pre> sparse{5, 9, 100, 350, 9999};
+  // Dense selection: every other id triggers the linear-merge arm.
+  std::vector<Pre> dense;
+  for (Pre id = 2; id < 600; id += 2) dense.push_back(id);
+
+  for (const std::vector<Pre>& ids : {sparse, dense}) {
+    const so::RegionColumnsData cols = index.IntersectColumns(ids);
+    // Reference: the definitional filter over the AoS shim.
+    std::vector<RegionEntry> expect;
+    for (const RegionEntry& e : index.entries()) {
+      if (std::binary_search(ids.begin(), ids.end(), e.id)) {
+        expect.push_back(e);
+      }
+    }
+    CHECK_EQ(cols.size(), expect.size());
+    const so::RegionColumns view = cols.View();
+    CHECK(view.start_sorted);
+    for (size_t i = 0; i < view.size; ++i) {
+      CHECK(view.row(i) == expect[i]);
+    }
+  }
+  CHECK_EQ(index.IntersectColumns({}).size(), 0u);
+}
+
 static void TestMissingConfigAttrs() {
   storage::DocumentStore store;
   CHECK_OK(store.AddDocumentText("v.xml", "<a><b start=\"1\" end=\"2\"/></a>"));
@@ -124,6 +188,8 @@ int main() {
   RUN_TEST(TestFromEntriesSorts);
   RUN_TEST(TestBuildFromTable);
   RUN_TEST(TestIntersect);
+  RUN_TEST(TestColumnsMirrorEntries);
+  RUN_TEST(TestIntersectAdaptivePathsAgree);
   RUN_TEST(TestMissingConfigAttrs);
   RUN_TEST(TestBadRegionValues);
   RUN_TEST(TestCache);
