@@ -1,0 +1,204 @@
+// The multi-predicate chain planner and batched executor:
+//
+//   * BM_ChainOrder — the same 3-layer containment chain executed
+//     top-down, bottom-up-last, and as planned (kAuto), on a workload
+//     whose top-down intermediate balloons past the middle layer; the
+//     planned time should track the better order, not the worse.
+//   * BM_ChainQueries — N chain queries over a sharded corpus: fresh
+//     engines per query (the un-amortized baseline) vs a warmed
+//     BatchEngine (shared indexes, candidate sets, arenas).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "standoff/plan.h"
+#include "storage/sharded_store.h"
+#include "xquery/engine.h"
+
+namespace {
+
+using namespace standoff;
+using storage::Pre;
+
+struct ChainWorkload {
+  so::RegionIndex top, mid, low;
+  so::ChainSpec spec;
+};
+
+so::ChainLayer LayerOf(const so::RegionIndex& index) {
+  so::ChainLayer layer;
+  layer.columns = index.columns();
+  layer.ids = &index.annotated_ids();
+  layer.index = &index;
+  layer.stats = storage::RegionStats::Compute(
+      layer.columns.start, layer.columns.end, layer.columns.size);
+  return layer;
+}
+
+/// Overlapping top windows (high fanout into the middle layer) over a
+/// large middle set, with a near-empty final layer: the shape where
+/// evaluating the most selective edge first pays.
+std::unique_ptr<ChainWorkload> MakeChainWorkload(size_t mid_rows) {
+  Rng rng(23);
+  std::vector<so::RegionEntry> tops, mids, lows;
+  for (Pre i = 0; i < 800; ++i) {
+    const int64_t s = static_cast<int64_t>(i) * 1000;
+    tops.push_back(so::RegionEntry{s, s + 9999, i + 1});
+  }
+  for (size_t i = 0; i < mid_rows; ++i) {
+    const int64_t s = rng.UniformRange(0, 800000);
+    mids.push_back(so::RegionEntry{s, s + rng.UniformRange(1, 60),
+                                   static_cast<Pre>(i + 1)});
+  }
+  for (Pre i = 0; i < 16; ++i) {
+    const int64_t s = rng.UniformRange(0, 800000);
+    lows.push_back(so::RegionEntry{s, s + 1, i + 1});
+  }
+  auto w = std::make_unique<ChainWorkload>();
+  w->top = so::RegionIndex::FromEntries(std::move(tops));
+  w->mid = so::RegionIndex::FromEntries(std::move(mids));
+  w->low = so::RegionIndex::FromEntries(std::move(lows));
+  so::ChainSpec& spec = w->spec;
+  const std::vector<Pre>& ids = w->top.annotated_ids();
+  spec.iter_count = static_cast<uint32_t>(ids.size());
+  for (uint32_t i = 0; i < spec.iter_count; ++i) {
+    w->top.ForEachRegionOf(ids[i], [&](int64_t s, int64_t e) {
+      const uint32_t ann = static_cast<uint32_t>(spec.ann_iters.size());
+      spec.ann_iters.push_back(i);
+      spec.context.push_back(so::IterRegion{i, s, e, ann});
+    });
+  }
+  std::vector<int64_t> starts, ends;
+  for (const so::IterRegion& c : spec.context) {
+    starts.push_back(c.start);
+    ends.push_back(c.end);
+  }
+  spec.context_stats =
+      storage::RegionStats::Compute(starts.data(), ends.data(), starts.size());
+  for (const so::RegionIndex* index : {&w->mid, &w->low}) {
+    so::ChainEdge edge;
+    edge.op = so::StandoffOp::kSelectNarrow;
+    edge.layer = LayerOf(*index);
+    spec.edges.push_back(std::move(edge));
+  }
+  return w;
+}
+
+/// Args: {mid_rows, mode} with mode 0=top-down 1=bottom-up-last 2=auto.
+void BM_ChainOrder(benchmark::State& state) {
+  const auto w = MakeChainWorkload(static_cast<size_t>(state.range(0)));
+  const so::PlanMode modes[] = {so::PlanMode::kTopDown,
+                                so::PlanMode::kBottomUpLast,
+                                so::PlanMode::kAuto};
+  const so::ChainPlan plan =
+      so::PlanChain(w->spec, modes[state.range(1)]);
+  so::JoinArenaPool arenas;
+  so::ChainExecOptions options;
+  options.parallel.arenas = &arenas;
+  size_t results = 0;
+  for (auto _ : state) {
+    std::vector<so::IterMatch> out;
+    auto st = so::ExecuteChain(w->spec, plan, options, &out);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    results = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["bottom_up"] =
+      plan.order == so::ChainOrder::kBottomUpLast ? 1 : 0;
+}
+
+std::string PlayXml(int scenes) {
+  std::string xml = "<play>";
+  for (int s = 0; s < scenes; ++s) {
+    const int64_t base = s * 1000;
+    xml += "<scene start=\"" + std::to_string(base) + "\" end=\"" +
+           std::to_string(base + 999) + "\"/>";
+    for (int p = 0; p < 4; ++p) {
+      const int64_t sp = base + p * 200 + 10;
+      xml += "<speech start=\"" + std::to_string(sp) + "\" end=\"" +
+             std::to_string(sp + 150) + "\"/>";
+      for (int word = 0; word < 6; ++word) {
+        const int64_t ws = sp + 5 + word * 20;
+        xml += "<word start=\"" + std::to_string(ws) + "\" end=\"" +
+               std::to_string(ws + 6) + "\"/>";
+      }
+    }
+  }
+  xml += "</play>";
+  return xml;
+}
+
+/// Args: {batched}. N=24 scene⊃speech⊃word queries over 12 documents in
+/// a 3-shard store; batched=0 pays a fresh engine per query.
+void BM_ChainQueries(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  storage::ShardedStore store(3);
+  std::vector<xquery::ChainQuery> queries;
+  for (int d = 0; d < 12; ++d) {
+    auto doc = store.AddDocumentText("d" + std::to_string(d), PlayXml(40));
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    for (int rep = 0; rep < 2; ++rep) {
+      xquery::ChainQuery query;
+      query.doc = *doc;
+      query.context_name = "scene";
+      query.steps.push_back({xquery::Axis::kSelectNarrow, false, "speech"});
+      query.steps.push_back({xquery::Axis::kSelectNarrow, false, "word"});
+      queries.push_back(std::move(query));
+    }
+  }
+  xquery::EngineOptions options;
+  xquery::BatchEngine engine(&store, options);
+  (void)engine.ExecuteChainBatch(queries);  // warm caches and arenas
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = 0;
+    if (batched) {
+      auto results = engine.ExecuteChainBatch(queries);
+      for (const auto& r : results) {
+        if (!r.ok()) {
+          state.SkipWithError(r.status().ToString().c_str());
+          return;
+        }
+        matches += r->matches.size();
+      }
+    } else {
+      for (const xquery::ChainQuery& query : queries) {
+        xquery::Engine fresh(&store.store());
+        auto r = fresh.EvaluateChain(query);
+        if (!r.ok()) {
+          state.SkipWithError(r.status().ToString().c_str());
+          return;
+        }
+        matches += r->matches.size();
+      }
+    }
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(queries.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ChainOrder)
+    ->Args({50000, 0})
+    ->Args({50000, 1})
+    ->Args({50000, 2})
+    ->Args({200000, 0})
+    ->Args({200000, 2})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ChainQueries)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

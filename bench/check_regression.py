@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Bench-regression gate (run_bench.sh --check).
+
+Compares key metrics in a merged BENCH_results.json against the
+checked-in bench/bench_baseline.json. The threshold is deliberately
+generous (default 2.5x): hardware and CI noise pass, order-of-magnitude
+regressions fail. Only slowdowns fail — improvements are free.
+
+Exit codes: 0 ok, 1 regression / missing metric / unit mismatch.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print("usage: check_regression.py <BENCH_results.json> <baseline.json>",
+              file=sys.stderr)
+        return 2
+    results = json.load(open(sys.argv[1]))
+    baseline = json.load(open(sys.argv[2]))
+    threshold = float(baseline.get("threshold", 2.5))
+    failures = []
+    checked = 0
+    for binary, metrics in baseline["metrics"].items():
+        runs = {b["name"]: b
+                for b in results.get(binary, {}).get("benchmarks", [])}
+        for name, base in metrics.items():
+            current = runs.get(name)
+            label = f"{binary}:{name}"
+            if current is None:
+                failures.append(f"{label}: missing from current results")
+                continue
+            if current.get("time_unit") != base["time_unit"]:
+                failures.append(
+                    f"{label}: time_unit {current.get('time_unit')} != "
+                    f"baseline {base['time_unit']}")
+                continue
+            checked += 1
+            ratio = current["cpu_time"] / base["cpu_time"]
+            verdict = "REGRESSED" if ratio > threshold else "ok"
+            print(f"{label}: cpu_time {current['cpu_time']:.1f} "
+                  f"{base['time_unit']} vs baseline {base['cpu_time']:.1f} "
+                  f"({ratio:.2f}x, limit {threshold}x) {verdict}")
+            if ratio > threshold:
+                failures.append(f"{label}: {ratio:.2f}x over baseline")
+    if failures:
+        print(f"\n{len(failures)} bench-regression failure(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} gated metrics within {threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

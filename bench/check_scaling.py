@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Parallel-scaling gate for the CI bench-scaling job.
+
+Reads bench_parallel_scaling's google-benchmark JSON, computes the
+4-thread wall-clock speedup of the acceptance workload
+(BM_ParallelLoopLifted/10000/1000/{1,4}/1), and writes a machine-
+readable scaling_report.json — num_cpus, per-configuration real and
+CPU time, the speedup, and the caller's CPU share (google-benchmark's
+cpu_time measures the calling thread, so 4-thread cpu_time over serial
+cpu_time ≈ 0.25-0.4 is the per-thread evidence that the merge pass
+really was split across workers rather than merely re-timed).
+
+Gate: on a host with >= 2 CPUs the speedup must reach --min-speedup
+(default 1.5). Single-core hosts only report.
+"""
+import argparse
+import json
+import sys
+
+
+def pick(benchmarks, name):
+    # Prefer the mean aggregate when the run used --benchmark_repetitions.
+    for b in benchmarks:
+        if b["name"] == f"{name}_mean":
+            return b
+    for b in benchmarks:
+        if b["name"] == name:
+            return b
+    raise KeyError(f"benchmark {name!r} not in results")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("results", help="bench_parallel_scaling JSON output")
+    parser.add_argument("--out", default="scaling_report.json")
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--workload",
+                        default="BM_ParallelLoopLifted/10000/1000")
+    args = parser.parse_args()
+
+    data = json.load(open(args.results))
+    num_cpus = data["context"]["num_cpus"]
+    benchmarks = data["benchmarks"]
+    serial = pick(benchmarks, f"{args.workload}/1/1")
+    threaded = pick(benchmarks, f"{args.workload}/4/1")
+    speedup = serial["real_time"] / threaded["real_time"]
+    caller_share = threaded["cpu_time"] / serial["cpu_time"]
+
+    report = {
+        "num_cpus": num_cpus,
+        "workload": args.workload,
+        "time_unit": serial["time_unit"],
+        "serial": {"real_time": serial["real_time"],
+                   "cpu_time": serial["cpu_time"]},
+        "four_threads": {"real_time": threaded["real_time"],
+                         "cpu_time": threaded["cpu_time"]},
+        "wall_clock_speedup_4t": speedup,
+        "caller_cpu_share_4t": caller_share,
+        "min_speedup": args.min_speedup,
+        "gated": num_cpus >= 2,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"num_cpus={num_cpus} 4-thread wall-clock speedup={speedup:.2f}x "
+          f"(caller cpu share {caller_share:.2f}x); report -> {args.out}")
+
+    if num_cpus >= 2 and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x < {args.min_speedup}x on a "
+              f"{num_cpus}-core host", file=sys.stderr)
+        return 1
+    if num_cpus < 2:
+        print("single-core host: reporting only, gate skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,12 +9,28 @@
 # (the results then still carry the real build type in the JSON
 # context emitted by google-benchmark).
 #
-# Usage: bench/run_bench.sh [build-dir] [extra google-benchmark flags...]
+# A bench binary that exits nonzero is reported and makes the script
+# exit nonzero AFTER the remaining benches have run — one broken bench
+# must neither mask the others nor be masked by them.
+#
+# Usage: bench/run_bench.sh [--check] [build-dir] [extra gbench flags...]
+#   --check   after merging, diff the key bench_mergejoin_micro and
+#             bench_skew_sparsity metrics against bench/bench_baseline.json
+#             (generous threshold; catches order-of-magnitude regressions)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$REPO_ROOT/build}"
-shift || true
+CHECK=0
+BUILD_DIR=""
+EXTRA=()
+for arg in "$@"; do
+  case "$arg" in
+    --check) CHECK=1 ;;
+    -*) EXTRA+=("$arg") ;;
+    *) if [[ -z "$BUILD_DIR" ]]; then BUILD_DIR="$arg"; else EXTRA+=("$arg"); fi ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 OUT="$REPO_ROOT/BENCH_results.json"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -24,6 +40,7 @@ BUILD_TYPE=""
 if [[ -f "$CACHE" ]]; then
   BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")"
 fi
+echo "detected CMAKE_BUILD_TYPE='${BUILD_TYPE:-unknown}' in $BUILD_DIR" >&2
 if [[ "$BUILD_TYPE" != "Release" &&
       "${STANDOFF_BENCH_ALLOW_NON_RELEASE:-0}" != "1" ]]; then
   echo "refusing to benchmark a '${BUILD_TYPE:-unknown}' build in" \
@@ -34,9 +51,10 @@ fi
 
 BENCHES=(bench_mergejoin_micro bench_parallel_scaling
          bench_ablation_active_list bench_ablation_pushdown bench_loading
-         bench_skew_sparsity)
+         bench_skew_sparsity bench_chain_planner)
 
 ran=0
+FAILED=()
 for bench in "${BENCHES[@]}"; do
   bin="$BUILD_DIR/$bench"
   if [[ ! -x "$bin" ]]; then
@@ -44,12 +62,19 @@ for bench in "${BENCHES[@]}"; do
     continue
   fi
   echo "=== $bench ===" >&2
-  "$bin" --benchmark_format=json "$@" > "$TMP_DIR/$bench.json"
+  if ! "$bin" --benchmark_format=json ${EXTRA[@]+"${EXTRA[@]}"} \
+       > "$TMP_DIR/$bench.json"
+  then
+    echo "FAILED: $bench exited nonzero" >&2
+    rm -f "$TMP_DIR/$bench.json"
+    FAILED+=("$bench")
+    continue
+  fi
   ran=$((ran + 1))
 done
 
 if [[ "$ran" -eq 0 ]]; then
-  echo "no benchmarks found in $BUILD_DIR; leaving $OUT untouched" >&2
+  echo "no benchmarks succeeded in $BUILD_DIR; leaving $OUT untouched" >&2
   exit 1
 fi
 
@@ -63,3 +88,13 @@ for path in sorted(pathlib.Path(tmp_dir).glob("*.json")):
 pathlib.Path(out_path).write_text(json.dumps(merged, indent=2) + "\n")
 print(f"wrote {out_path}")
 PY
+
+if [[ "${#FAILED[@]}" -gt 0 ]]; then
+  echo "bench failures: ${FAILED[*]}" >&2
+  exit 1
+fi
+
+if [[ "$CHECK" -eq 1 ]]; then
+  python3 "$REPO_ROOT/bench/check_regression.py" "$OUT" \
+          "$REPO_ROOT/bench/bench_baseline.json"
+fi

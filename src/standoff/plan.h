@@ -1,0 +1,147 @@
+// Multi-predicate region-algebra plans: chains of containment, overlap,
+// and reject predicates over three or more region sets, executed as a
+// sequence of loop-lifted StandOff merge joins.
+//
+// A ChainSpec is the algebra: a loop-lifted context layer (the chain's
+// top region set, one loop iteration per context annotation) and one
+// ChainEdge per predicate, each naming the operator and the candidate
+// layer it joins the running context against. Evaluating edge k's join
+// yields the (iter, node) matches of layer k+1; for a non-final edge
+// the matched nodes' regions become the context rows of the next join.
+//
+// PlanChain is the cost-based planner. From per-layer RegionStats
+// (count, span, width histogram — computed once when a layer is built)
+// it estimates each edge's match fraction and chooses
+//
+//   * the JOIN ORDER: kTopDown evaluates edges first-to-last — always
+//     legal, and optimal when the top context is small; kBottomUpLast
+//     (all-select chains only) evaluates the LAST edge first over the
+//     second-to-last layer's rows, drops every id of that layer whose
+//     rows all missed (an id with one matching region keeps ALL its
+//     regions — matching is per id, as top-down sees it), runs the
+//     remaining chain top-down against the filtered layer, and
+//     composes — a win when the final edge is by far the most
+//     selective and the intermediate fanout is large;
+//   * per-edge KERNEL OPTIONS: galloping on when the merge is expected
+//     to be output-bounded (sparse matches), off when the pass is
+//     dense and the binary searches would outnumber the rows skipped.
+//
+// Every order and option combination returns byte-identical results:
+// the planner only moves work, never semantics — pinned by the chain
+// differential suite against the brute-force oracle.
+#ifndef STANDOFF_STANDOFF_PLAN_H_
+#define STANDOFF_STANDOFF_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "standoff/merge_join.h"
+#include "standoff/parallel_join.h"
+#include "standoff/region_index.h"
+#include "storage/column_stats.h"
+
+namespace standoff {
+namespace so {
+
+/// One candidate layer of a chain: a start-sorted candidate view, the
+/// sorted candidate universe (what reject- edges complement against),
+/// the index that can map a matched id back to its regions, and the
+/// layer's precomputed statistics. Views are borrowed — the owner
+/// (RegionIndex, cached candidate set) must outlive the chain.
+struct ChainLayer {
+  RegionColumns columns;
+  const std::vector<storage::Pre>* ids = nullptr;
+  const RegionIndex* index = nullptr;
+  storage::RegionStats stats;
+};
+
+/// One predicate edge: join the running context against `layer` under
+/// `op`. `post` (optional) canonicalizes the edge's matches before they
+/// feed the next edge — the engine uses it to name-filter matches when
+/// an edge runs without candidate pushdown.
+struct ChainEdge {
+  StandoffOp op = StandoffOp::kSelectNarrow;
+  ChainLayer layer;
+  std::function<Status(std::vector<IterMatch>*)> post;
+};
+
+/// The chain algebra: context rows (the paper's loop-lifted table) plus
+/// one edge per predicate. `edges.size() >= 1`; a chain over N region
+/// sets has N-1 edges.
+struct ChainSpec {
+  std::vector<IterRegion> context;
+  std::vector<uint32_t> ann_iters;
+  uint32_t iter_count = 0;
+  storage::RegionStats context_stats;  // over the context rows
+  std::vector<ChainEdge> edges;
+};
+
+enum class ChainOrder {
+  kTopDown,
+  kBottomUpLast,
+};
+
+const char* ChainOrderName(ChainOrder order);
+
+/// Planner input knob: kAuto cost-compares the legal orders; the forced
+/// modes pin one (kBottomUpLast silently degrades to kTopDown when the
+/// chain shape makes it illegal — fewer than two edges or any reject).
+enum class PlanMode {
+  kAuto,
+  kTopDown,
+  kBottomUpLast,
+};
+
+struct EdgePlan {
+  StandoffOp op = StandoffOp::kSelectNarrow;
+  bool gallop = true;
+  double est_match_fraction = 0;  // of the layer's rows, per context row
+  double est_cost = 0;
+};
+
+struct ChainPlan {
+  ChainOrder order = ChainOrder::kTopDown;
+  std::vector<EdgePlan> edges;
+  double est_cost = 0;
+  double est_cost_top_down = 0;       // both orders' estimates, for
+  double est_cost_bottom_up = 0;      // introspection (0 = not legal)
+
+  std::string Describe() const;
+};
+
+/// Execution counters, for tests and the bench: which path ran and how
+/// much work each stage saw.
+struct ChainStats {
+  size_t joins_run = 0;
+  size_t context_rows_total = 0;   // summed over all executed joins
+  size_t bottom_up_kept_rows = 0;  // filtered middle-layer rows kept
+  size_t bottom_up_dropped_rows = 0;
+  size_t composed_matches = 0;     // low-edge matches visited in compose
+};
+
+struct ChainExecOptions {
+  /// Thread-pool decomposition and kernel defaults for every join in
+  /// the chain; each edge's plan overrides `parallel.join.gallop`.
+  ParallelJoinOptions parallel;
+  /// Called between joins (deadline checks); null means never.
+  const std::function<Status()>* checkpoint = nullptr;
+};
+
+/// Cost-based plan for `spec` under `mode`. Pure estimation — never
+/// touches the region data, only the precomputed stats.
+ChainPlan PlanChain(const ChainSpec& spec, PlanMode mode = PlanMode::kAuto);
+
+/// Executes `spec` under `plan`. Output is sorted by (iter, pre) and
+/// duplicate-free — byte-identical across orders, gallop settings, and
+/// thread/shard configurations.
+Status ExecuteChain(const ChainSpec& spec, const ChainPlan& plan,
+                    const ChainExecOptions& options,
+                    std::vector<IterMatch>* out, ChainStats* stats = nullptr);
+
+}  // namespace so
+}  // namespace standoff
+
+#endif  // STANDOFF_STANDOFF_PLAN_H_

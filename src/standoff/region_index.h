@@ -12,6 +12,7 @@
 #ifndef STANDOFF_STANDOFF_REGION_INDEX_H_
 #define STANDOFF_STANDOFF_REGION_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -172,6 +173,21 @@ class RegionIndex {
 
   /// Region of an annotated node; false if the node has no region.
   bool RegionOf(storage::Pre id, int64_t* start, int64_t* end) const;
+
+  /// Calls fn(start, end) for every region of annotated node `id` (ids
+  /// may carry several regions). The chain executor uses this to turn
+  /// matched candidates back into context rows for the next edge.
+  template <typename Fn>
+  void ForEachRegionOf(storage::Pre id, Fn fn) const {
+    auto it = std::lower_bound(
+        rows_by_id_.begin(), rows_by_id_.end(), id,
+        [this](uint32_t row, storage::Pre value) {
+          return cols_.id()[row] < value;
+        });
+    for (; it != rows_by_id_.end() && cols_.id()[*it] == id; ++it) {
+      fn(cols_.start()[*it], cols_.end()[*it]);
+    }
+  }
 
  private:
   /// Lazily-built AoS mirror of the columns; heap-held so RegionIndex

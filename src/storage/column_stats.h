@@ -1,0 +1,87 @@
+// Cheap per-index statistics over region columns: row count, span,
+// total covered width, and a log2 width histogram, all gathered in one
+// pass at index-build (or candidate-set-build) time. The chain planner
+// reads them to estimate join selectivity — how many candidates a
+// context region of a given width can contain or overlap — without
+// touching the data again.
+#ifndef STANDOFF_STORAGE_COLUMN_STATS_H_
+#define STANDOFF_STORAGE_COLUMN_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace standoff {
+namespace storage {
+
+struct RegionStats {
+  /// Bucket b counts regions whose inclusive width (end - start + 1)
+  /// lies in [2^b, 2^{b+1}). Widths are >= 1, so bucket 0 is width 1.
+  static constexpr size_t kWidthBuckets = 44;
+
+  size_t count = 0;
+  int64_t min_start = 0;
+  int64_t max_end = 0;
+  double total_width = 0;  // sum of inclusive widths
+  uint64_t width_hist[kWidthBuckets] = {};
+
+  /// Inclusive extent of the set along the region axis; 0 when empty.
+  double Span() const {
+    if (count == 0) return 0;
+    return static_cast<double>(max_end) - static_cast<double>(min_start) + 1;
+  }
+
+  double AvgWidth() const {
+    return count == 0 ? 0 : total_width / static_cast<double>(count);
+  }
+
+  /// Fraction of the span covered if no regions overlapped; clamped to
+  /// 1 (overlapping sets can sum past their span).
+  double Coverage() const {
+    const double span = Span();
+    return span <= 0 ? 0 : std::min(1.0, total_width / span);
+  }
+
+  /// Estimated fraction of regions with width <= w, read off the
+  /// histogram (linear interpolation inside the bucket containing w).
+  double FractionWidthAtMost(double w) const {
+    if (count == 0 || w < 1) return 0;
+    double covered = 0;
+    for (size_t b = 0; b < kWidthBuckets; ++b) {
+      const double lo = static_cast<double>(uint64_t{1} << b);
+      const double hi = lo * 2;  // bucket is [lo, hi)
+      if (w >= hi - 1) {
+        covered += static_cast<double>(width_hist[b]);
+      } else if (w >= lo) {
+        covered += static_cast<double>(width_hist[b]) * (w - lo + 1) /
+                   (hi - lo);
+      } else {
+        break;
+      }
+    }
+    return std::min(1.0, covered / static_cast<double>(count));
+  }
+
+  /// One pass over parallel start/end columns (any row order).
+  static RegionStats Compute(const int64_t* start, const int64_t* end,
+                             size_t n) {
+    RegionStats stats;
+    stats.count = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == 0 || start[i] < stats.min_start) stats.min_start = start[i];
+      if (i == 0 || end[i] > stats.max_end) stats.max_end = end[i];
+      const uint64_t width =
+          static_cast<uint64_t>(end[i] - start[i]) + 1;  // end >= start
+      stats.total_width += static_cast<double>(width);
+      size_t bucket = 0;
+      for (uint64_t w = width; w >>= 1;) ++bucket;
+      stats.width_hist[std::min(bucket, kWidthBuckets - 1)] += 1;
+    }
+    return stats;
+  }
+};
+
+}  // namespace storage
+}  // namespace standoff
+
+#endif  // STANDOFF_STORAGE_COLUMN_STATS_H_

@@ -362,8 +362,276 @@ StatusOr<const Engine::CandidateSet*> Engine::GetCandidates(
                         (*index)->annotated_ids().end(), name_pres.begin(),
                         name_pres.end(), std::back_inserter(set.ids));
   set.entries = (*index)->IntersectColumns(set.ids);
+  set.stats = storage::RegionStats::Compute(set.entries.start().data(),
+                                            set.entries.end().data(),
+                                            set.entries.size());
   auto inserted = candidate_cache_.emplace(key, std::move(set));
   return &inserted.first->second;
+}
+
+const storage::RegionStats* Engine::GetIndexStats(
+    storage::DocId doc, const so::RegionIndex& index) {
+  auto it = index_stats_cache_.find(doc);
+  if (it == index_stats_cache_.end()) {
+    const so::RegionColumns cols = index.columns();
+    it = index_stats_cache_
+             .emplace(doc, storage::RegionStats::Compute(cols.start, cols.end,
+                                                         cols.size))
+             .first;
+  }
+  return &it->second;
+}
+
+StatusOr<so::ChainLayer> Engine::GetChainLayer(storage::DocId doc,
+                                               const ChainStep& step,
+                                               so::ChainEdge* edge) {
+  StatusOr<const so::RegionIndex*> index = GetIndex(doc);
+  if (!index.ok()) return index.status();
+  so::ChainLayer layer;
+  layer.index = *index;
+  const storage::NameId name =
+      step.any_name ? storage::kInvalidName : store_->names().Lookup(step.name);
+  if (!step.any_name && name == storage::kInvalidName) {
+    // Unknown name: an empty layer (no candidates, empty universe).
+    static const std::vector<storage::Pre> kEmpty;
+    layer.ids = &kEmpty;
+    return layer;
+  }
+  const std::vector<storage::Pre>& annotated_ids = (*index)->annotated_ids();
+  const size_t annotated = annotated_ids.size();
+  // Pushdown decision: a name whose ANNOTATED elements cover most of
+  // the index buys nothing from an intersected copy — join the whole
+  // index and name-filter the matches instead. Selective names get the
+  // cached (columns ∩ name) candidate set. The candidate count is the
+  // |annotated ∩ name| intersection (counted allocation-free; the raw
+  // element count over-states it when most same-named elements carry
+  // no regions).
+  size_t candidate_count = annotated;
+  if (!step.any_name) {
+    const std::vector<storage::Pre>& name_pres =
+        store_->document(doc).element_index.Lookup(name);
+    if (name_pres.size() * 2 < annotated) {
+      candidate_count = name_pres.size();  // already provably sparse
+    } else {
+      candidate_count = 0;
+      for (size_t a = 0, p = 0; a < annotated && p < name_pres.size();) {
+        if (annotated_ids[a] < name_pres[p]) {
+          ++a;
+        } else if (name_pres[p] < annotated_ids[a]) {
+          ++p;
+        } else {
+          ++candidate_count;
+          ++a;
+          ++p;
+        }
+      }
+    }
+  }
+  if (step.any_name || candidate_count * 2 >= annotated) {
+    layer.columns = (*index)->columns();
+    layer.ids = &(*index)->annotated_ids();
+    layer.stats = *GetIndexStats(doc, **index);
+    if (!step.any_name) {
+      const storage::NodeTable* table = &store_->table(doc);
+      edge->post = [table, name](std::vector<so::IterMatch>* matches) {
+        matches->erase(
+            std::remove_if(matches->begin(), matches->end(),
+                           [table, name](const so::IterMatch& m) {
+                             return !table->IsElement(m.pre) ||
+                                    table->name(m.pre) != name;
+                           }),
+            matches->end());
+        return Status::OK();
+      };
+    }
+    return layer;
+  }
+  Step ast_step;
+  ast_step.name = step.name;
+  StatusOr<const CandidateSet*> candidates = GetCandidates(doc, ast_step);
+  if (!candidates.ok()) return candidates.status();
+  layer.columns = (*candidates)->entries.View();
+  layer.ids = &(*candidates)->ids;
+  layer.stats = (*candidates)->stats;
+  return layer;
+}
+
+StatusOr<ChainResult> Engine::EvaluateChain(const ChainQuery& query) {
+  if (store_->document_count() == 0) {
+    return Status::FailedPrecondition("document store is empty");
+  }
+  if (query.doc >= store_->document_count()) {
+    return Status::Invalid("no such document: " + std::to_string(query.doc));
+  }
+  if (query.steps.empty()) {
+    return Status::Invalid("chain query needs at least one step");
+  }
+  standoff_config_.type =
+      query.standoff_type.empty() ? "auto" : query.standoff_type;
+  deadline_timer_.Reset();
+  deadline_seconds_ = options_.timeout_seconds;
+
+  StatusOr<const so::RegionIndex*> index = GetIndex(query.doc);
+  if (!index.ok()) return index.status();
+
+  ChainResult result;
+  so::ChainSpec spec;
+  // The context rows are exactly the regions of the context candidate
+  // set, so its cached stats are the context stats — no recompute.
+  if (query.context_any) {
+    result.context_ids = (*index)->annotated_ids();
+    spec.context_stats = *GetIndexStats(query.doc, **index);
+  } else {
+    Step ast_step;
+    ast_step.name = query.context_name;
+    StatusOr<const CandidateSet*> context = GetCandidates(query.doc, ast_step);
+    if (!context.ok()) return context.status();
+    result.context_ids = (*context)->ids;
+    spec.context_stats = (*context)->stats;
+  }
+
+  spec.iter_count = static_cast<uint32_t>(result.context_ids.size());
+  for (uint32_t i = 0; i < spec.iter_count; ++i) {
+    (*index)->ForEachRegionOf(
+        result.context_ids[i], [&](int64_t start, int64_t end) {
+          const uint32_t ann = static_cast<uint32_t>(spec.ann_iters.size());
+          spec.ann_iters.push_back(i);
+          spec.context.push_back(so::IterRegion{i, start, end, ann});
+        });
+  }
+  for (const ChainStep& step : query.steps) {
+    if (!IsStandoffAxis(step.axis)) {
+      return Status::Invalid("chain steps must use StandOff axes");
+    }
+    so::ChainEdge edge;
+    edge.op = AxisToOp(step.axis);
+    StatusOr<so::ChainLayer> layer = GetChainLayer(query.doc, step, &edge);
+    if (!layer.ok()) return layer.status();
+    edge.layer = *layer;
+    spec.edges.push_back(std::move(edge));
+  }
+
+  result.plan = so::PlanChain(spec, options_.plan_mode);
+  so::ChainExecOptions exec;
+  exec.parallel.pool = ExecPool();
+  exec.parallel.iter_blocks = options_.exec.num_threads;
+  exec.parallel.candidate_shards = options_.exec.shard_count;
+  exec.parallel.arenas = Arenas();
+  exec.parallel.join = options_.join;
+  const std::function<Status()> checkpoint = [this] {
+    return CheckDeadline();
+  };
+  exec.checkpoint = &checkpoint;
+  STANDOFF_RETURN_IF_ERROR(so::ExecuteChain(spec, result.plan, exec,
+                                            &result.matches, &result.stats));
+  return result;
+}
+
+std::vector<StatusOr<algebra::QueryResult>> Engine::EvaluateBatch(
+    const std::vector<std::string>& queries) {
+  std::vector<StatusOr<algebra::QueryResult>> results;
+  results.reserve(queries.size());
+  for (const std::string& query : queries) results.push_back(Evaluate(query));
+  return results;
+}
+
+BatchEngine::BatchEngine(const storage::ShardedStore* store,
+                         EngineOptions options)
+    : store_(store), options_(std::move(options)) {
+  engines_.resize(store_->shard_count());
+}
+
+Engine* BatchEngine::shard_engine(uint32_t shard) {
+  if (shard >= engines_.size()) return nullptr;
+  if (!engines_[shard]) {
+    engines_[shard] = std::make_unique<Engine>(&store_->store());
+    *engines_[shard]->mutable_options() = options_;
+  }
+  return engines_[shard].get();
+}
+
+std::vector<StatusOr<ChainResult>> BatchEngine::ExecuteChainBatch(
+    const std::vector<ChainQuery>& queries) {
+  const size_t n = queries.size();
+  std::vector<std::vector<size_t>> groups(store_->shard_count());
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<ChainResult> results(n);
+  std::vector<uint8_t> failed(n, 0), done(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (queries[i].doc >= store_->document_count()) {
+      statuses[i] = Status::Invalid("no such document: " +
+                                    std::to_string(queries[i].doc));
+      failed[i] = 1;
+      continue;
+    }
+    groups[store_->shard_of(queries[i].doc)].push_back(i);
+  }
+  std::vector<uint32_t> live;
+  for (uint32_t s = 0; s < groups.size(); ++s) {
+    if (!groups[s].empty()) live.push_back(s);
+  }
+  // Engines must exist before the parallel region (creation is lazy and
+  // not thread-safe); each group then touches only its own engine.
+  for (uint32_t s : live) shard_engine(s);
+
+  const auto run_query = [&](uint32_t shard, size_t i) {
+    StatusOr<ChainResult> r = engines_[shard]->EvaluateChain(queries[i]);
+    if (r.ok()) {
+      results[i] = r.MoveValueUnsafe();
+    } else {
+      statuses[i] = r.status();
+      failed[i] = 1;
+    }
+    done[i] = 1;
+  };
+
+  const uint32_t threads = options_.exec.num_threads;
+  if (live.size() > 1 && threads > 1) {
+    // The batch itself is the unit of parallelism: shard groups fan out
+    // across one shared pool, per-query joins run serial.
+    if (!pool_ || pool_->num_workers() != threads - 1) {
+      pool_ = std::make_unique<ThreadPool>(threads - 1);
+    }
+    for (uint32_t s : live) {
+      engines_[s]->mutable_options()->exec.num_threads = 1;
+      engines_[s]->mutable_options()->exec.shard_count = 1;
+    }
+    const Status st =
+        ParallelFor(pool_.get(), 0, live.size(), [&](size_t g) -> Status {
+          for (size_t i : groups[live[g]]) run_query(live[g], i);
+          return Status::OK();
+        });
+    // The serial override is scoped to this batch: shard_engine() hands
+    // callers an engine with the constructor's options.
+    for (uint32_t s : live) {
+      engines_[s]->mutable_options()->exec = options_.exec;
+    }
+    if (!st.ok()) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!done[i] && !failed[i]) {
+          statuses[i] = st;
+          failed[i] = 1;
+        }
+      }
+    }
+  } else {
+    // Single-group (or serial) batches keep intra-query parallelism.
+    for (uint32_t s : live) {
+      engines_[s]->mutable_options()->exec = options_.exec;
+      for (size_t i : groups[s]) run_query(s, i);
+    }
+  }
+
+  std::vector<StatusOr<ChainResult>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (failed[i]) {
+      out.push_back(statuses[i]);
+    } else {
+      out.push_back(std::move(results[i]));
+    }
+  }
+  return out;
 }
 
 Status Engine::ApplyStandoffStep(const Step& step, Lifted* rows) {

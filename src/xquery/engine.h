@@ -21,8 +21,11 @@
 #include "common/timer.h"
 #include "standoff/merge_join.h"
 #include "standoff/parallel_join.h"
+#include "standoff/plan.h"
 #include "standoff/region_index.h"
+#include "storage/column_stats.h"
 #include "storage/document_store.h"
+#include "storage/sharded_store.h"
 #include "xquery/algebra.h"
 #include "xquery/ast.h"
 
@@ -68,6 +71,38 @@ struct EngineOptions {
   double timeout_seconds = 0;
   so::JoinOptions join;  // forwarded to the merge-join kernels
   ExecOptions exec;
+  /// Chain-planner order selection (EvaluateChain only): kAuto
+  /// cost-compares; the forced modes pin an order for testing.
+  so::PlanMode plan_mode = so::PlanMode::kAuto;
+};
+
+/// One predicate step of a multi-predicate chain query: a StandOff axis
+/// plus a name test on the layer it selects from.
+struct ChainStep {
+  Axis axis = Axis::kSelectNarrow;
+  bool any_name = false;
+  std::string name;
+};
+
+/// A multi-predicate region query: the context layer (every annotated
+/// element named `context_name`, one loop iteration per element in
+/// document order) chained through `steps`. Three region sets — e.g.
+/// scene ⊃ speech ⊃ word — are a context plus two steps.
+struct ChainQuery {
+  storage::DocId doc = 0;
+  std::string context_name;
+  bool context_any = false;      // context = every annotated element
+  std::vector<ChainStep> steps;  // at least one
+  std::string standoff_type = "auto";
+};
+
+struct ChainResult {
+  /// Final-layer matches; `iter` indexes `context_ids`.
+  std::vector<so::IterMatch> matches;
+  /// Iteration -> context element, in document order.
+  std::vector<storage::Pre> context_ids;
+  so::ChainPlan plan;
+  so::ChainStats stats;
 };
 
 class Engine {
@@ -75,6 +110,18 @@ class Engine {
   explicit Engine(const storage::DocumentStore* store) : store_(store) {}
 
   StatusOr<algebra::QueryResult> Evaluate(const std::string& query_text);
+
+  /// N text queries at once on this engine, sharing its index caches,
+  /// candidate sets, arenas, and worker pool — the amortized form of N
+  /// separate Evaluate calls on N fresh engines.
+  std::vector<StatusOr<algebra::QueryResult>> EvaluateBatch(
+      const std::vector<std::string>& queries);
+
+  /// Plans and executes a multi-predicate chain query: candidate
+  /// pushdown per layer (skipped when the name covers most of the
+  /// index — matches are then name-filtered after the join), then
+  /// PlanChain / ExecuteChain over the cached layers.
+  StatusOr<ChainResult> EvaluateChain(const ChainQuery& query);
 
   void set_standoff_mode(StandoffMode mode) { mode_ = mode; }
   StandoffMode standoff_mode() const { return mode_; }
@@ -122,9 +169,21 @@ class Engine {
   struct CandidateSet {
     so::RegionColumnsData entries;
     std::vector<storage::Pre> ids;
+    storage::RegionStats stats;
   };
   StatusOr<const CandidateSet*> GetCandidates(storage::DocId doc,
                                               const Step& step);
+
+  /// A chain layer for one step: the pushed-down candidate set when the
+  /// name is selective, the whole index (plus a name post-filter on the
+  /// matches) when the name covers most of it or matches everything.
+  StatusOr<so::ChainLayer> GetChainLayer(storage::DocId doc,
+                                         const ChainStep& step,
+                                         so::ChainEdge* edge);
+
+  /// Full-index stats, cached per document.
+  const storage::RegionStats* GetIndexStats(storage::DocId doc,
+                                            const so::RegionIndex& index);
 
   Status CheckDeadline() const;
   bool NameMatches(const Step& step, storage::DocId doc,
@@ -150,8 +209,37 @@ class Engine {
   std::unique_ptr<ThreadPool> pool_;
   size_t pool_workers_ = 0;
   so::JoinArenaPool arena_pool_;
+  std::map<storage::DocId, storage::RegionStats> index_stats_cache_;
   Timer deadline_timer_;
   double deadline_seconds_ = 0;  // active budget for the running Evaluate
+};
+
+/// Batched chain execution over a sharded store. Queries are grouped by
+/// document shard; each group runs on a persistent per-shard Engine
+/// whose region indexes, candidate sets, and merge arenas carry across
+/// the queries of a batch AND across batches, so the steady state pays
+/// none of the per-query setup N independent engines would. Groups fan
+/// out across one shared worker pool (per-query joins then run serial —
+/// the batch is the unit of parallelism); a batch that lands on a
+/// single shard keeps intra-query threads/shards instead.
+class BatchEngine {
+ public:
+  BatchEngine(const storage::ShardedStore* store, EngineOptions options);
+
+  /// Results in query order. Per-query failures are per-slot statuses —
+  /// one bad query never poisons the batch.
+  std::vector<StatusOr<ChainResult>> ExecuteChainBatch(
+      const std::vector<ChainQuery>& queries);
+
+  /// The per-shard engine (created on first use), for cache inspection
+  /// in tests and for mode/option tweaks.
+  Engine* shard_engine(uint32_t shard);
+
+ private:
+  const storage::ShardedStore* store_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Engine>> engines_;  // one slot per shard
 };
 
 }  // namespace xquery

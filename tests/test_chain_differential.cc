@@ -1,0 +1,469 @@
+// Differential pinning of the multi-predicate chain path: for every
+// document shape (nested scene⊃speech⊃word, empty middle layer,
+// zero-overlap, duplicate region sets, random irregular, XMark-derived)
+// × operator pair × plan mode × threads × shards, EvaluateChain must be
+// byte-identical to a brute-force oracle computed straight off the
+// store — and the batched executor must be byte-identical to the
+// sequential per-query path on every shard layout. A FLWOR cross-check
+// ties the chain API to the engine's existing step-by-step evaluation.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "standoff/plan.h"
+#include "storage/sharded_store.h"
+#include "tests/harness.h"
+#include "xmark/generator.h"
+#include "xmark/standoff_transform.h"
+#include "xquery/engine.h"
+
+using namespace standoff;
+using so::IterMatch;
+using so::StandoffOp;
+using storage::Pre;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Document builders. All regions are start/end attributes; ids are the
+// element names' ordinal so failures print readably.
+// ---------------------------------------------------------------------------
+
+std::string Elem(const std::string& name, int64_t start, int64_t end) {
+  return "<" + name + " start=\"" + std::to_string(start) + "\" end=\"" +
+         std::to_string(end) + "\"/>";
+}
+
+/// Laminar play: scenes tile [0, scenes*1000); speeches nest inside
+/// scenes; words inside speeches. One scene is deliberately left
+/// unannotated (no start/end) to exercise iteration alignment.
+std::string NestedPlay(int scenes) {
+  std::string xml = "<play>";
+  for (int s = 0; s < scenes; ++s) {
+    const int64_t base = s * 1000;
+    if (s == 1) {
+      xml += "<scene/>";  // annotation-less scene
+    } else {
+      xml += Elem("scene", base, base + 999);
+    }
+    for (int p = 0; p < 3; ++p) {
+      const int64_t sp = base + p * 300 + 10;
+      xml += Elem("speech", sp, sp + 250);
+      for (int w = 0; w < 4; ++w) {
+        xml += Elem("word", sp + 5 + w * 50, sp + 5 + w * 50 + 8);
+      }
+    }
+  }
+  xml += "</play>";
+  return xml;
+}
+
+/// No speech elements at all: the middle layer is empty.
+std::string EmptyMiddle() {
+  std::string xml = "<play>";
+  xml += Elem("scene", 0, 999);
+  xml += Elem("word", 10, 20);
+  xml += Elem("word", 500, 600);
+  xml += "</play>";
+  return xml;
+}
+
+/// Scenes and speeches in disjoint halves of the axis: zero overlap.
+std::string ZeroOverlap() {
+  std::string xml = "<play>";
+  xml += Elem("scene", 0, 499);
+  xml += Elem("scene", 500, 999);
+  xml += Elem("speech", 10000, 10100);
+  xml += Elem("speech", 20000, 20500);
+  xml += Elem("word", 10010, 10020);
+  xml += "</play>";
+  return xml;
+}
+
+/// Speeches duplicate the scenes' coordinates exactly.
+std::string DuplicateSets() {
+  std::string xml = "<play>";
+  for (int s = 0; s < 4; ++s) {
+    xml += Elem("scene", s * 100, s * 100 + 99);
+    xml += Elem("speech", s * 100, s * 100 + 99);
+    for (int w = 0; w < 3; ++w) {
+      xml += Elem("word", s * 100 + w * 20, s * 100 + w * 20 + 5);
+    }
+  }
+  xml += "</play>";
+  return xml;
+}
+
+/// Irregular soup: overlapping scenes, straddling speeches, words
+/// everywhere (some outside everything).
+std::string RandomSoup(uint64_t seed) {
+  Rng rng(seed);
+  std::string xml = "<play>";
+  for (int s = 0; s < 8; ++s) {
+    const int64_t start = rng.UniformRange(0, 3000);
+    xml += Elem("scene", start, start + rng.UniformRange(100, 1500));
+  }
+  for (int p = 0; p < 25; ++p) {
+    const int64_t start = rng.UniformRange(0, 4000);
+    xml += Elem("speech", start, start + rng.UniformRange(5, 400));
+  }
+  for (int w = 0; w < 60; ++w) {
+    const int64_t start = rng.UniformRange(0, 4500);
+    xml += Elem("word", start, start + rng.UniformRange(0, 30));
+  }
+  xml += "</play>";
+  return xml;
+}
+
+// ---------------------------------------------------------------------------
+// The store-level oracle: name layers rebuilt by scanning the node
+// table, chain evaluated by nested loops.
+// ---------------------------------------------------------------------------
+
+struct OracleLayer {
+  std::vector<Pre> ids;  // sorted: the layer's candidate universe
+  std::map<Pre, std::vector<std::pair<int64_t, int64_t>>> regions;
+};
+
+/// The layer of every annotated element named `name`; an empty name
+/// means every annotated element (the any-name layer).
+OracleLayer LayerByName(const storage::DocumentStore& store,
+                        storage::DocId doc, const std::string& name) {
+  OracleLayer layer;
+  const bool any = name.empty();
+  const storage::NameId name_id = store.names().Lookup(name);
+  const storage::NodeTable& table = store.table(doc);
+  auto index = so::RegionIndex::Build(
+      table, so::Resolve(so::StandoffConfig{}, store.names()));
+  if (!index.ok()) return layer;
+  for (Pre id : index->annotated_ids()) {
+    if (!any && (!table.IsElement(id) || table.name(id) != name_id)) continue;
+    layer.ids.push_back(id);
+    index->ForEachRegionOf(id, [&](int64_t s, int64_t e) {
+      layer.regions[id].emplace_back(s, e);
+    });
+  }
+  return layer;
+}
+
+std::vector<IterMatch> OracleChain(const std::vector<OracleLayer>& layers,
+                                   const std::vector<StandoffOp>& ops) {
+  const OracleLayer& context = layers[0];
+  std::vector<IterMatch> out;
+  for (uint32_t iter = 0; iter < context.ids.size(); ++iter) {
+    std::vector<std::pair<int64_t, int64_t>> cur =
+        context.regions.at(context.ids[iter]);
+    std::vector<Pre> ids;
+    for (size_t e = 0; e < ops.size(); ++e) {
+      const OracleLayer& layer = layers[e + 1];
+      const bool narrow = ops[e] == StandoffOp::kSelectNarrow ||
+                          ops[e] == StandoffOp::kRejectNarrow;
+      const bool reject = ops[e] == StandoffOp::kRejectNarrow ||
+                          ops[e] == StandoffOp::kRejectWide;
+      ids.clear();
+      if (!cur.empty()) {
+        for (Pre id : layer.ids) {
+          bool hit = false;
+          for (const auto& [s, en] : layer.regions.at(id)) {
+            for (const auto& [cs, ce] : cur) {
+              if (narrow ? (cs <= s && en <= ce) : (cs <= en && s <= ce)) {
+                hit = true;
+              }
+            }
+          }
+          if (hit != reject) ids.push_back(id);
+        }
+      }
+      cur.clear();
+      for (Pre id : ids) {
+        for (const auto& [s, en] : layer.regions.at(id)) {
+          cur.emplace_back(s, en);
+        }
+      }
+    }
+    for (Pre id : ids) out.push_back(IterMatch{iter, id});
+  }
+  return out;
+}
+
+xquery::ChainQuery SceneSpeechWord(storage::DocId doc, StandoffOp op1,
+                                   StandoffOp op2) {
+  const auto axis = [](StandoffOp op) {
+    switch (op) {
+      case StandoffOp::kSelectNarrow: return xquery::Axis::kSelectNarrow;
+      case StandoffOp::kSelectWide: return xquery::Axis::kSelectWide;
+      case StandoffOp::kRejectNarrow: return xquery::Axis::kRejectNarrow;
+      default: return xquery::Axis::kRejectWide;
+    }
+  };
+  xquery::ChainQuery query;
+  query.doc = doc;
+  query.context_name = "scene";
+  query.steps.push_back({axis(op1), false, "speech"});
+  query.steps.push_back({axis(op2), false, "word"});
+  return query;
+}
+
+}  // namespace
+
+static void TestChainShapesAgainstOracle() {
+  const std::pair<const char*, std::string> docs[] = {
+      {"nested", NestedPlay(5)},
+      {"empty-middle", EmptyMiddle()},
+      {"zero-overlap", ZeroOverlap()},
+      {"duplicate-sets", DuplicateSets()},
+      {"soup-1", RandomSoup(1)},
+      {"soup-2", RandomSoup(2)},
+  };
+  const std::pair<StandoffOp, StandoffOp> op_pairs[] = {
+      {StandoffOp::kSelectNarrow, StandoffOp::kSelectNarrow},
+      {StandoffOp::kSelectWide, StandoffOp::kSelectNarrow},
+      {StandoffOp::kSelectNarrow, StandoffOp::kSelectWide},
+      {StandoffOp::kRejectNarrow, StandoffOp::kSelectNarrow},
+      {StandoffOp::kSelectNarrow, StandoffOp::kRejectWide},
+  };
+  for (const auto& [doc_name, xml] : docs) {
+    storage::DocumentStore store;
+    auto doc = store.AddDocumentText(doc_name, xml);
+    CHECK_OK(doc);
+    const std::vector<OracleLayer> layers{LayerByName(store, *doc, "scene"),
+                                          LayerByName(store, *doc, "speech"),
+                                          LayerByName(store, *doc, "word")};
+    for (const auto& [op1, op2] : op_pairs) {
+      const std::vector<IterMatch> oracle = OracleChain(layers, {op1, op2});
+      for (so::PlanMode mode :
+           {so::PlanMode::kAuto, so::PlanMode::kTopDown,
+            so::PlanMode::kBottomUpLast}) {
+        for (uint32_t threads : {1u, 4u}) {
+          for (uint32_t shards : {1u, 3u}) {
+            xquery::Engine engine(&store);
+            engine.mutable_options()->plan_mode = mode;
+            engine.mutable_options()->exec.num_threads = threads;
+            engine.mutable_options()->exec.shard_count = shards;
+            auto result =
+                engine.EvaluateChain(SceneSpeechWord(*doc, op1, op2));
+            CHECK_OK(result);
+            if (!result.ok()) continue;
+            CHECK(result->context_ids == layers[0].ids);
+            if (!(result->matches == oracle)) {
+              std::fprintf(
+                  stderr,
+                  "  %s ops {%s,%s} mode %d nt=%u sc=%u: %zu vs oracle "
+                  "%zu (plan: %s)\n",
+                  doc_name, StandoffOpName(op1), StandoffOpName(op2),
+                  static_cast<int>(mode), threads, shards,
+                  result->matches.size(), oracle.size(),
+                  result->plan.Describe().c_str());
+              CHECK(false);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+static void TestXmarkDerivedChain() {
+  // XMark-derived annotations: the standoff transform turns element
+  // nesting into region containment, so open_auctions ⊃ open_auction
+  // ⊃ bidder is a real three-layer chain on generated data.
+  xmark::XmarkOptions options;
+  options.scale = 0.003;
+  auto so_doc = xmark::ToStandoff(xmark::GenerateXmark(options));
+  CHECK_OK(so_doc);
+  storage::DocumentStore store;
+  auto doc = store.AddDocumentText("xmark.xml", so_doc->xml);
+  CHECK_OK(doc);
+  const std::vector<OracleLayer> layers{
+      LayerByName(store, *doc, "open_auctions"),
+      LayerByName(store, *doc, "open_auction"),
+      LayerByName(store, *doc, "bidder")};
+  const std::vector<IterMatch> oracle = OracleChain(
+      layers, {StandoffOp::kSelectNarrow, StandoffOp::kSelectNarrow});
+  CHECK(!oracle.empty());
+  xquery::ChainQuery query;
+  query.doc = *doc;
+  query.context_name = "open_auctions";
+  query.steps.push_back({xquery::Axis::kSelectNarrow, false, "open_auction"});
+  query.steps.push_back({xquery::Axis::kSelectNarrow, false, "bidder"});
+  for (so::PlanMode mode : {so::PlanMode::kAuto, so::PlanMode::kTopDown,
+                            so::PlanMode::kBottomUpLast}) {
+    xquery::Engine engine(&store);
+    engine.mutable_options()->plan_mode = mode;
+    engine.mutable_options()->exec.num_threads = 4;
+    engine.mutable_options()->exec.shard_count = 3;
+    auto result = engine.EvaluateChain(query);
+    CHECK_OK(result);
+    if (result.ok()) CHECK(result->matches == oracle);
+  }
+}
+
+static void TestChainMatchesFlworPath() {
+  // The chain API against the engine's existing step-by-step FLWOR
+  // evaluation of the same query. Flattened in iteration order the two
+  // must agree even with an unannotated scene in the middle (it binds
+  // an iteration but can produce no matches).
+  for (const std::string& xml :
+       {NestedPlay(4), RandomSoup(3), DuplicateSets()}) {
+    storage::DocumentStore store;
+    auto doc = store.AddDocumentText("play.xml", xml);
+    CHECK_OK(doc);
+    xquery::Engine flwor(&store);
+    auto reference = flwor.Evaluate(
+        "for $s in //scene return "
+        "$s/select-narrow::speech/select-narrow::word");
+    CHECK_OK(reference);
+    std::vector<Pre> expected;
+    for (const algebra::Item& item : reference->items) {
+      expected.push_back(item.stored_node().pre);
+    }
+    for (so::PlanMode mode : {so::PlanMode::kTopDown,
+                              so::PlanMode::kBottomUpLast}) {
+      xquery::Engine engine(&store);
+      engine.mutable_options()->plan_mode = mode;
+      auto result = engine.EvaluateChain(SceneSpeechWord(
+          *doc, StandoffOp::kSelectNarrow, StandoffOp::kSelectNarrow));
+      CHECK_OK(result);
+      if (!result.ok()) continue;
+      std::vector<Pre> got;
+      for (const IterMatch& m : result->matches) got.push_back(m.pre);
+      CHECK(got == expected);
+    }
+  }
+}
+
+static void TestAnyNameLayers() {
+  // context_any (every annotated element as the context) and an
+  // any-name step (the whole index as a layer, no post name-filter)
+  // take their own branches in EvaluateChain/GetChainLayer.
+  for (const std::string& xml : {NestedPlay(4), RandomSoup(11)}) {
+    storage::DocumentStore store;
+    auto doc = store.AddDocumentText("play.xml", xml);
+    CHECK_OK(doc);
+    const std::vector<OracleLayer> all_ctx{LayerByName(store, *doc, ""),
+                                           LayerByName(store, *doc, ""),
+                                           LayerByName(store, *doc, "word")};
+    const std::pair<StandoffOp, StandoffOp> op_pairs[] = {
+        {StandoffOp::kSelectWide, StandoffOp::kSelectNarrow},
+        {StandoffOp::kSelectNarrow, StandoffOp::kRejectWide},
+    };
+    for (const auto& [op1, op2] : op_pairs) {
+      const std::vector<IterMatch> oracle = OracleChain(all_ctx, {op1, op2});
+      for (so::PlanMode mode :
+           {so::PlanMode::kAuto, so::PlanMode::kTopDown}) {
+        xquery::Engine engine(&store);
+        engine.mutable_options()->plan_mode = mode;
+        engine.mutable_options()->exec.num_threads = 4;
+        xquery::ChainQuery query = SceneSpeechWord(*doc, op1, op2);
+        query.context_name.clear();
+        query.context_any = true;
+        query.steps[0].any_name = true;
+        query.steps[0].name.clear();
+        auto result = engine.EvaluateChain(query);
+        CHECK_OK(result);
+        if (result.ok()) {
+          CHECK(result->context_ids == all_ctx[0].ids);
+          CHECK(result->matches == oracle);
+        }
+      }
+    }
+  }
+}
+
+static void TestEvaluateBatchTextQueries() {
+  // Engine::EvaluateBatch: N text queries on one engine, per-slot
+  // status, answers identical to one-at-a-time evaluation.
+  storage::DocumentStore store;
+  CHECK_OK(store.AddDocumentText("play.xml", NestedPlay(4)));
+  const std::vector<std::string> queries{
+      "for $s in //scene return count($s/select-narrow::word)",
+      "//speech/select-narrow::word",
+      "for $s in //scene return $s/((",  // parse error: slot must fail
+      "//scene/select-wide::speech",
+  };
+  xquery::Engine batch_engine(&store);
+  const auto batched = batch_engine.EvaluateBatch(queries);
+  CHECK_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    xquery::Engine single(&store);
+    auto expected = single.Evaluate(queries[i]);
+    CHECK_EQ(batched[i].ok(), expected.ok());
+    if (!batched[i].ok() || !expected.ok()) continue;
+    CHECK_EQ(batched[i]->items.size(), expected->items.size());
+    for (size_t k = 0; k < expected->items.size() &&
+                       k < batched[i]->items.size();
+         ++k) {
+      const algebra::Item& a = batched[i]->items[k];
+      const algebra::Item& b = expected->items[k];
+      CHECK_EQ(a.kind() == b.kind(), true);
+      if (a.is_node() && b.is_node()) {
+        CHECK(a.stored_node() == b.stored_node());
+      } else if (a.kind() == algebra::Item::Kind::kInt &&
+                 b.kind() == algebra::Item::Kind::kInt) {
+        CHECK_EQ(a.int_value(), b.int_value());
+      }
+    }
+  }
+  CHECK(!batched[2].ok());
+}
+
+static void TestBatchedIdenticalToSequential() {
+  // A mixed corpus over sharded stores: the batched executor must be
+  // byte-identical to one-query-at-a-time engines for every shard
+  // layout and thread count.
+  const std::string xmls[] = {NestedPlay(5), EmptyMiddle(), ZeroOverlap(),
+                              DuplicateSets(), RandomSoup(7), RandomSoup(8)};
+  for (uint32_t store_shards : {1u, 3u}) {
+    storage::ShardedStore store(store_shards);
+    std::vector<storage::DocId> docs;
+    for (const std::string& xml : xmls) {
+      auto doc = store.AddDocumentText("d" + std::to_string(docs.size()), xml);
+      CHECK_OK(doc);
+      docs.push_back(*doc);
+    }
+    std::vector<xquery::ChainQuery> queries;
+    for (storage::DocId doc : docs) {
+      queries.push_back(SceneSpeechWord(doc, StandoffOp::kSelectNarrow,
+                                        StandoffOp::kSelectNarrow));
+      queries.push_back(SceneSpeechWord(doc, StandoffOp::kSelectWide,
+                                        StandoffOp::kRejectNarrow));
+    }
+    // One deliberately bad query: its slot fails, the rest succeed.
+    xquery::ChainQuery bad;
+    bad.doc = 999;
+    bad.steps.push_back({xquery::Axis::kSelectNarrow, false, "word"});
+    queries.push_back(bad);
+
+    for (uint32_t threads : {1u, 4u}) {
+      xquery::EngineOptions options;
+      options.exec.num_threads = threads;
+      options.exec.shard_count = store_shards;
+      xquery::BatchEngine batch(&store, options);
+      const auto batched = batch.ExecuteChainBatch(queries);
+      CHECK_EQ(batched.size(), queries.size());
+      for (size_t i = 0; i + 1 < queries.size(); ++i) {
+        xquery::Engine single(&store.store());
+        *single.mutable_options() = options;
+        auto expected = single.EvaluateChain(queries[i]);
+        CHECK_OK(expected);
+        CHECK_OK(batched[i]);
+        if (expected.ok() && batched[i].ok()) {
+          CHECK(batched[i]->matches == expected->matches);
+          CHECK(batched[i]->context_ids == expected->context_ids);
+        }
+      }
+      CHECK(!batched.back().ok());
+    }
+  }
+}
+
+int main() {
+  RUN_TEST(TestChainShapesAgainstOracle);
+  RUN_TEST(TestXmarkDerivedChain);
+  RUN_TEST(TestChainMatchesFlworPath);
+  RUN_TEST(TestAnyNameLayers);
+  RUN_TEST(TestEvaluateBatchTextQueries);
+  RUN_TEST(TestBatchedIdenticalToSequential);
+  TEST_MAIN();
+}

@@ -30,10 +30,28 @@ void* operator new(size_t size) {
 
 void* operator new[](size_t size) { return ::operator new(size); }
 
+// The nothrow forms must be replaced alongside the throwing ones:
+// std::stable_sort's temporary buffer allocates via new(nothrow), and
+// a default nothrow new paired with the free()-backed delete below is
+// an alloc-dealloc mismatch under AddressSanitizer.
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  if (g_counting) ++g_allocations;
+  return std::malloc(size);
+}
+void* operator new[](size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, size_t) noexcept { std::free(p); }
 void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 using namespace standoff;
 using so::IterMatch;
