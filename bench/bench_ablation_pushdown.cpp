@@ -48,7 +48,9 @@ struct PushdownFixture {
     if (!idx.ok()) std::abort();
     index = *idx;
     needle_name = store->names().Lookup("needle");
-    needle_pres = store->document(0).element_index.Lookup(needle_name);
+    const storage::Span<storage::Pre> pres =
+        store->document(0).element_index.Lookup(needle_name);
+    needle_pres.assign(pres.begin(), pres.end());
   }
 
   std::vector<so::IterRegion> Contexts(size_t n) const {

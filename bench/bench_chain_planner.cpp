@@ -32,7 +32,8 @@ struct ChainWorkload {
 so::ChainLayer LayerOf(const so::RegionIndex& index) {
   so::ChainLayer layer;
   layer.columns = index.columns();
-  layer.ids = &index.annotated_ids();
+  layer.ids = index.annotated_ids();
+  layer.ids_set = true;
   layer.index = &index;
   layer.stats = storage::RegionStats::Compute(
       layer.columns.start, layer.columns.end, layer.columns.size);
@@ -63,7 +64,7 @@ std::unique_ptr<ChainWorkload> MakeChainWorkload(size_t mid_rows) {
   w->mid = so::RegionIndex::FromEntries(std::move(mids));
   w->low = so::RegionIndex::FromEntries(std::move(lows));
   so::ChainSpec& spec = w->spec;
-  const std::vector<Pre>& ids = w->top.annotated_ids();
+  const storage::Span<Pre> ids = w->top.annotated_ids();
   spec.iter_count = static_cast<uint32_t>(ids.size());
   for (uint32_t i = 0; i < spec.iter_count; ++i) {
     w->top.ForEachRegionOf(ids[i], [&](int64_t s, int64_t e) {

@@ -47,7 +47,8 @@ Workload MakeWorkload(size_t candidates, uint32_t iters) {
              {},
              {},
              iters};
-  w.candidate_ids = w.index.annotated_ids();
+  const storage::Span<storage::Pre> ann_ids = w.index.annotated_ids();
+  w.candidate_ids.assign(ann_ids.begin(), ann_ids.end());
   for (const so::RegionEntry& e : w.index.entries()) {
     w.candidate_annotations.push_back(
         so::AreaAnnotation{e.id, {{e.start, e.end}}});

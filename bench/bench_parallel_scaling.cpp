@@ -48,7 +48,8 @@ Workload MakeWorkload(size_t candidates, uint32_t iters) {
              {},
              {},
              iters};
-  w.candidate_ids = w.index.annotated_ids();
+  const storage::Span<storage::Pre> ann_ids = w.index.annotated_ids();
+  w.candidate_ids.assign(ann_ids.begin(), ann_ids.end());
   const int64_t width = universe / std::max<uint32_t>(iters, 1);
   for (uint32_t it = 0; it < iters; ++it) {
     int64_t start = static_cast<int64_t>(it) * width;

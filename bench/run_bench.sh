@@ -53,6 +53,25 @@ BENCHES=(bench_mergejoin_micro bench_parallel_scaling
          bench_ablation_active_list bench_ablation_pushdown bench_loading
          bench_skew_sparsity bench_chain_planner)
 
+# Runs one bench under a tiny wrapper that reports the child's peak RSS
+# (resource.getrusage of the finished child) next to its timings —
+# memory regressions are as real as time regressions for a store that
+# wants to serve from mmap.
+run_one() {
+  local bin="$1" out="$2"
+  shift 2
+  python3 - "$bin" "$out" "$@" <<'PY'
+import resource, subprocess, sys
+binary, out = sys.argv[1], sys.argv[2]
+with open(out, "w") as f:
+    rc = subprocess.call([binary, "--benchmark_format=json", *sys.argv[3:]],
+                         stdout=f)
+peak_kib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(f"peak RSS: {peak_kib / 1024:.1f} MiB", file=sys.stderr)
+sys.exit(rc)
+PY
+}
+
 ran=0
 FAILED=()
 for bench in "${BENCHES[@]}"; do
@@ -62,8 +81,7 @@ for bench in "${BENCHES[@]}"; do
     continue
   fi
   echo "=== $bench ===" >&2
-  if ! "$bin" --benchmark_format=json ${EXTRA[@]+"${EXTRA[@]}"} \
-       > "$TMP_DIR/$bench.json"
+  if ! run_one "$bin" "$TMP_DIR/$bench.json" ${EXTRA[@]+"${EXTRA[@]}"}
   then
     echo "FAILED: $bench exited nonzero" >&2
     rm -f "$TMP_DIR/$bench.json"

@@ -83,7 +83,8 @@ inline SkewWorkload MakeSkewWorkload(CandidateShape shape, size_t candidates,
 
   SkewWorkload w;
   w.index = so::RegionIndex::FromEntries(std::move(entries));
-  w.candidate_ids = w.index.annotated_ids();
+  const storage::Span<storage::Pre> ann_ids = w.index.annotated_ids();
+  w.candidate_ids.assign(ann_ids.begin(), ann_ids.end());
   w.iter_count = iters;
   // Context regions tile the covered prefix-of-universe span per
   // iteration: total coverage = universe * coverage_permille / 1000,

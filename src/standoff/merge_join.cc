@@ -422,7 +422,7 @@ void SelectWidePass(const std::vector<IterRegion>& ctx,
 /// sorted candidate universe, written straight into `out`.
 void ComplementFromKeys(const std::vector<IterRegion>& context,
                         const std::vector<uint64_t>& keys,
-                        const std::vector<storage::Pre>& universe,
+                        storage::Span<storage::Pre> universe,
                         uint32_t iter_count, std::vector<uint8_t>* present,
                         std::vector<IterMatch>* out) {
   present->assign(iter_count, 0);
@@ -461,23 +461,22 @@ std::vector<IterRegion> SingleIterationRows(
   return rows;
 }
 
-const std::vector<storage::Pre>* NormalizeUniverse(
-    const std::vector<storage::Pre>& ids,
-    std::vector<storage::Pre>* scratch) {
+storage::Span<storage::Pre> NormalizeUniverse(
+    storage::Span<storage::Pre> ids, std::vector<storage::Pre>* scratch) {
   if (std::is_sorted(ids.begin(), ids.end()) &&
       std::adjacent_find(ids.begin(), ids.end()) == ids.end()) {
-    return &ids;
+    return ids;
   }
-  *scratch = ids;
+  scratch->assign(ids.begin(), ids.end());
   std::sort(scratch->begin(), scratch->end());
   scratch->erase(std::unique(scratch->begin(), scratch->end()),
                  scratch->end());
-  return scratch;
+  return storage::Span<storage::Pre>(*scratch);
 }
 
 void ComplementPerIteration(const std::vector<IterRegion>& context,
                             const std::vector<IterMatch>& matches,
-                            const std::vector<storage::Pre>& universe,
+                            storage::Span<storage::Pre> universe,
                             uint32_t iter_count,
                             std::vector<IterMatch>* out) {
   std::vector<uint8_t> present(iter_count, 0);
@@ -583,7 +582,7 @@ void NaiveStandoffJoinSpan(StandoffOp op,
 Status BasicStandoffJoinColumns(StandoffOp op,
                                 const std::vector<AreaAnnotation>& context,
                                 RegionColumns candidates,
-                                const std::vector<storage::Pre>& candidate_ids,
+                                storage::Span<storage::Pre> candidate_ids,
                                 std::vector<storage::Pre>* out,
                                 JoinOptions options) {
   const std::vector<IterRegion> rows = detail::SingleIterationRows(context);
@@ -602,7 +601,7 @@ Status BasicStandoffJoin(StandoffOp op,
                          const std::vector<AreaAnnotation>& context,
                          const std::vector<RegionEntry>& candidates,
                          const RegionIndex& index,
-                         const std::vector<storage::Pre>& candidate_ids,
+                         storage::Span<storage::Pre> candidate_ids,
                          std::vector<storage::Pre>* out) {
   const std::vector<IterRegion> rows = detail::SingleIterationRows(context);
   const std::vector<uint32_t> ann_iters(context.size(), 0);
@@ -619,7 +618,7 @@ Status BasicStandoffJoin(StandoffOp op,
 Status LoopLiftedStandoffJoinColumns(
     StandoffOp op, const std::vector<IterRegion>& context,
     const std::vector<uint32_t>& ann_iters, RegionColumns cand,
-    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    storage::Span<storage::Pre> candidate_ids, uint32_t iter_count,
     std::vector<IterMatch>* out, JoinOptions options) {
   out->clear();
   for (const IterRegion& c : context) {
@@ -714,9 +713,9 @@ Status LoopLiftedStandoffJoinColumns(
   }
 
   // Reject: complement against the candidate universe per iteration.
-  const std::vector<storage::Pre>* universe =
+  const storage::Span<storage::Pre> universe =
       detail::NormalizeUniverse(candidate_ids, &arena->universe_scratch);
-  ComplementFromKeys(ctx, keys, *universe, iter_count, &arena->iter_present,
+  ComplementFromKeys(ctx, keys, universe, iter_count, &arena->iter_present,
                      out);
   return Status::OK();
 }
@@ -726,7 +725,7 @@ Status LoopLiftedStandoffJoin(StandoffOp op,
                               const std::vector<uint32_t>& ann_iters,
                               const std::vector<RegionEntry>& candidates,
                               const RegionIndex& index,
-                              const std::vector<storage::Pre>& candidate_ids,
+                              storage::Span<storage::Pre> candidate_ids,
                               uint32_t iter_count,
                               std::vector<IterMatch>* out,
                               JoinOptions options) {

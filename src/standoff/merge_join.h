@@ -200,7 +200,7 @@ void NaiveStandoffJoinSpan(StandoffOp op,
 Status BasicStandoffJoinColumns(StandoffOp op,
                                 const std::vector<AreaAnnotation>& context,
                                 RegionColumns candidates,
-                                const std::vector<storage::Pre>& candidate_ids,
+                                storage::Span<storage::Pre> candidate_ids,
                                 std::vector<storage::Pre>* out,
                                 JoinOptions options = JoinOptions());
 
@@ -211,7 +211,7 @@ Status BasicStandoffJoin(StandoffOp op,
                          const std::vector<AreaAnnotation>& context,
                          const std::vector<RegionEntry>& candidates,
                          const RegionIndex& index,
-                         const std::vector<storage::Pre>& candidate_ids,
+                         storage::Span<storage::Pre> candidate_ids,
                          std::vector<storage::Pre>* out);
 
 /// The loop-lifted kernel: answers all `iter_count` loop iterations in
@@ -222,7 +222,7 @@ Status BasicStandoffJoin(StandoffOp op,
 Status LoopLiftedStandoffJoinColumns(
     StandoffOp op, const std::vector<IterRegion>& context,
     const std::vector<uint32_t>& ann_iters, RegionColumns candidates,
-    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    storage::Span<storage::Pre> candidate_ids, uint32_t iter_count,
     std::vector<IterMatch>* out, JoinOptions options = JoinOptions());
 
 /// AoS shim over LoopLiftedStandoffJoinColumns, kept for tests; the
@@ -233,7 +233,7 @@ Status LoopLiftedStandoffJoin(StandoffOp op,
                               const std::vector<uint32_t>& ann_iters,
                               const std::vector<RegionEntry>& candidates,
                               const RegionIndex& index,
-                              const std::vector<storage::Pre>& candidate_ids,
+                              storage::Span<storage::Pre> candidate_ids,
                               uint32_t iter_count,
                               std::vector<IterMatch>* out,
                               JoinOptions options = JoinOptions());
@@ -249,9 +249,8 @@ std::vector<IterRegion> SingleIterationRows(
 
 /// Sorted, duplicate-free view of `ids`; `*scratch` is filled only
 /// when the input needs normalizing.
-const std::vector<storage::Pre>* NormalizeUniverse(
-    const std::vector<storage::Pre>& ids,
-    std::vector<storage::Pre>* scratch);
+storage::Span<storage::Pre> NormalizeUniverse(
+    storage::Span<storage::Pre> ids, std::vector<storage::Pre>* scratch);
 
 /// Appends, for every iteration with at least one row in `context`,
 /// the candidate universe minus that iteration's select matches.
@@ -259,7 +258,7 @@ const std::vector<storage::Pre>* NormalizeUniverse(
 /// `universe` sorted ascending and duplicate-free.
 void ComplementPerIteration(const std::vector<IterRegion>& context,
                             const std::vector<IterMatch>& matches,
-                            const std::vector<storage::Pre>& universe,
+                            storage::Span<storage::Pre> universe,
                             uint32_t iter_count,
                             std::vector<IterMatch>* out);
 

@@ -170,7 +170,7 @@ Status ValidateInputs(const std::vector<IterRegion>& context,
 Status ParallelLoopLiftedStandoffJoinColumns(
     StandoffOp op, const std::vector<IterRegion>& context,
     const std::vector<uint32_t>& ann_iters, RegionColumns candidates,
-    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    storage::Span<storage::Pre> candidate_ids, uint32_t iter_count,
     std::vector<IterMatch>* out, const ParallelJoinOptions& options) {
   out->clear();
   ThreadPool* pool =
@@ -257,7 +257,7 @@ Status ParallelLoopLiftedStandoffJoinColumns(
 
   const bool reject = IsRejectOp(op);
   std::vector<storage::Pre> universe_storage;
-  const std::vector<storage::Pre>* universe = nullptr;
+  storage::Span<storage::Pre> universe;
   if (reject) {
     universe = detail::NormalizeUniverse(candidate_ids, &universe_storage);
   }
@@ -291,7 +291,7 @@ Status ParallelLoopLiftedStandoffJoinColumns(
           // complement; iterations outside the block are simply not
           // present, so the serial helper applies unchanged.
           std::vector<IterMatch> complement;
-          detail::ComplementPerIteration(blocks[b].context, merged, *universe,
+          detail::ComplementPerIteration(blocks[b].context, merged, universe,
                                          iter_count, &complement);
           merged = std::move(complement);
         }
@@ -313,7 +313,7 @@ Status ParallelLoopLiftedStandoffJoin(
     StandoffOp op, const std::vector<IterRegion>& context,
     const std::vector<uint32_t>& ann_iters,
     const std::vector<RegionEntry>& candidates, const RegionIndex& index,
-    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    storage::Span<storage::Pre> candidate_ids, uint32_t iter_count,
     std::vector<IterMatch>* out, const ParallelJoinOptions& options) {
   if (&candidates == &index.entries()) {
     return ParallelLoopLiftedStandoffJoinColumns(
@@ -330,7 +330,7 @@ Status ParallelLoopLiftedStandoffJoin(
 
 Status ParallelBasicStandoffJoinColumns(
     StandoffOp op, const std::vector<AreaAnnotation>& context,
-    RegionColumns candidates, const std::vector<storage::Pre>& candidate_ids,
+    RegionColumns candidates, storage::Span<storage::Pre> candidate_ids,
     std::vector<storage::Pre>* out, ThreadPool* pool,
     uint32_t candidate_shards, JoinArenaPool* arenas, JoinOptions join) {
   const std::vector<IterRegion> rows = detail::SingleIterationRows(context);
@@ -355,7 +355,7 @@ Status ParallelBasicStandoffJoin(StandoffOp op,
                                  const std::vector<AreaAnnotation>& context,
                                  const std::vector<RegionEntry>& candidates,
                                  const RegionIndex& index,
-                                 const std::vector<storage::Pre>& candidate_ids,
+                                 storage::Span<storage::Pre> candidate_ids,
                                  std::vector<storage::Pre>* out,
                                  ThreadPool* pool,
                                  uint32_t candidate_shards) {

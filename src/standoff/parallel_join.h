@@ -58,7 +58,7 @@ struct ParallelJoinOptions {
 Status ParallelLoopLiftedStandoffJoinColumns(
     StandoffOp op, const std::vector<IterRegion>& context,
     const std::vector<uint32_t>& ann_iters, RegionColumns candidates,
-    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    storage::Span<storage::Pre> candidate_ids, uint32_t iter_count,
     std::vector<IterMatch>* out, const ParallelJoinOptions& options);
 
 /// AoS shim over ParallelLoopLiftedStandoffJoinColumns, kept for tests;
@@ -68,7 +68,7 @@ Status ParallelLoopLiftedStandoffJoin(
     StandoffOp op, const std::vector<IterRegion>& context,
     const std::vector<uint32_t>& ann_iters,
     const std::vector<RegionEntry>& candidates, const RegionIndex& index,
-    const std::vector<storage::Pre>& candidate_ids, uint32_t iter_count,
+    storage::Span<storage::Pre> candidate_ids, uint32_t iter_count,
     std::vector<IterMatch>* out, const ParallelJoinOptions& options);
 
 /// Parallel BasicStandoffJoin over candidate columns: the single merge
@@ -76,7 +76,7 @@ Status ParallelLoopLiftedStandoffJoin(
 /// split).
 Status ParallelBasicStandoffJoinColumns(
     StandoffOp op, const std::vector<AreaAnnotation>& context,
-    RegionColumns candidates, const std::vector<storage::Pre>& candidate_ids,
+    RegionColumns candidates, storage::Span<storage::Pre> candidate_ids,
     std::vector<storage::Pre>* out, ThreadPool* pool,
     uint32_t candidate_shards, JoinArenaPool* arenas = nullptr,
     JoinOptions join = JoinOptions());
@@ -86,7 +86,7 @@ Status ParallelBasicStandoffJoin(StandoffOp op,
                                  const std::vector<AreaAnnotation>& context,
                                  const std::vector<RegionEntry>& candidates,
                                  const RegionIndex& index,
-                                 const std::vector<storage::Pre>& candidate_ids,
+                                 storage::Span<storage::Pre> candidate_ids,
                                  std::vector<storage::Pre>* out,
                                  ThreadPool* pool,
                                  uint32_t candidate_shards);

@@ -150,13 +150,13 @@ Status RunJoin(const ChainEdge& edge, const EdgePlan& edge_plan,
                const std::vector<uint32_t>& ann_iters, uint32_t iter_count,
                const ChainExecOptions& options, std::vector<IterMatch>* out,
                ChainStats* stats) {
-  if (layer.ids == nullptr) {
+  if (!layer.ids_set) {
     return Status::Invalid("chain layer has no candidate universe");
   }
   ParallelJoinOptions parallel = options.parallel;
   parallel.join.gallop = edge_plan.gallop;
   STANDOFF_RETURN_IF_ERROR(ParallelLoopLiftedStandoffJoinColumns(
-      edge.op, ctx, ann_iters, layer.columns, *layer.ids, iter_count, out,
+      edge.op, ctx, ann_iters, layer.columns, layer.ids, iter_count, out,
       parallel));
   if (edge.post) STANDOFF_RETURN_IF_ERROR(edge.post(out));
   if (stats) {
@@ -243,14 +243,14 @@ Status RunBottomUpLast(const ChainSpec& spec, const ChainPlan& plan,
   {
     // Borrow the spec's exec options but swap the iteration space.
     STANDOFF_RETURN_IF_ERROR(Checkpoint(options));
-    if (last_edge.layer.ids == nullptr) {
+    if (!last_edge.layer.ids_set) {
       return Status::Invalid("chain layer has no candidate universe");
     }
     ParallelJoinOptions parallel = options.parallel;
     parallel.join.gallop = plan.edges[edge_total - 1].gallop;
     STANDOFF_RETURN_IF_ERROR(ParallelLoopLiftedStandoffJoinColumns(
         last_edge.op, row_ctx, row_iters, last_edge.layer.columns,
-        *last_edge.layer.ids, mid_rows, &low, parallel));
+        last_edge.layer.ids, mid_rows, &low, parallel));
     if (last_edge.post) STANDOFF_RETURN_IF_ERROR(last_edge.post(&low));
     if (stats) {
       ++stats->joins_run;
@@ -294,7 +294,8 @@ Status RunBottomUpLast(const ChainSpec& spec, const ChainPlan& plan,
   }
   ChainLayer filtered_layer;
   filtered_layer.columns = filtered.View();  // ascending rows: stays sorted
-  filtered_layer.ids = &filtered_ids;
+  filtered_layer.ids = filtered_ids;
+  filtered_layer.ids_set = true;
   filtered_layer.index = mid_edge.layer.index;
 
   // 3. The upper chain, its final edge aimed at the filtered layer.

@@ -53,7 +53,10 @@ namespace so {
 /// (RegionIndex, cached candidate set) must outlive the chain.
 struct ChainLayer {
   RegionColumns columns;
-  const std::vector<storage::Pre>* ids = nullptr;
+  /// Candidate universe view; `ids_set` distinguishes a legitimately
+  /// empty universe (unknown name) from a layer never given one.
+  storage::Span<storage::Pre> ids;
+  bool ids_set = false;
   const RegionIndex* index = nullptr;
   storage::RegionStats stats;
 };

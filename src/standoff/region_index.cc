@@ -17,6 +17,10 @@ ResolvedConfig Resolve(const StandoffConfig& config,
   return resolved;
 }
 
+std::string ConfigFingerprint(const StandoffConfig& config) {
+  return config.start_attr + "|" + config.end_attr + "|" + config.type;
+}
+
 namespace {
 
 /// Rounds to int64 iff the result is representable. std::round matches
@@ -103,10 +107,13 @@ void RegionColumnsData::Clear() {
 }
 
 void RegionColumnsData::SortCanonical() {
-  const auto less = [this](uint32_t a, uint32_t b) {
-    if (start_[a] != start_[b]) return start_[a] < start_[b];
-    if (end_[a] != end_[b]) return end_[a] < end_[b];
-    return id_[a] < id_[b];
+  const int64_t* s = start_.data();
+  const int64_t* e = end_.data();
+  const storage::Pre* d = id_.data();
+  const auto less = [s, e, d](uint32_t a, uint32_t b) {
+    if (s[a] != s[b]) return s[a] < s[b];
+    if (e[a] != e[b]) return e[a] < e[b];
+    return d[a] < d[b];
   };
   bool sorted = true;
   for (size_t i = 1; i < size(); ++i) {
@@ -136,6 +143,13 @@ void RegionColumnsData::GatherFrom(const RegionColumnsData& src,
       start_sorted_ && src.start_sorted_ && start_.size() == rows.size();
 }
 
+void RegionColumnsData::BorrowFrom(const RegionColumns& view) {
+  start_.Borrow(view.start, view.size);
+  end_.Borrow(view.end, view.size);
+  id_.Borrow(view.id, view.size);
+  start_sorted_ = view.start_sorted;
+}
+
 RegionColumns RegionColumnsData::View() const {
   RegionColumns view;
   view.start = start_.data();
@@ -147,20 +161,50 @@ RegionColumns RegionColumnsData::View() const {
 }
 
 void RegionIndex::BuildIdIndex() {
-  rows_by_id_ = storage::SortPermutation(
+  rows_by_id_.Adopt(storage::SortPermutation(
       cols_.size(), [this](uint32_t a, uint32_t b) {
         return cols_.id()[a] < cols_.id()[b];
-      });
-  annotated_ids_.clear();
-  regions_by_id_.clear();
-  annotated_ids_.reserve(cols_.size());
-  regions_by_id_.reserve(cols_.size());
+      }));
+  std::vector<storage::Pre> ids;
+  std::vector<int64_t> starts, ends;
+  ids.reserve(cols_.size());
+  starts.reserve(cols_.size());
+  ends.reserve(cols_.size());
   for (uint32_t i : rows_by_id_) {
     const storage::Pre id = cols_.id()[i];
-    if (!annotated_ids_.empty() && annotated_ids_.back() == id) continue;
-    annotated_ids_.push_back(id);
-    regions_by_id_.emplace_back(cols_.start()[i], cols_.end()[i]);
+    if (!ids.empty() && ids.back() == id) continue;
+    ids.push_back(id);
+    starts.push_back(cols_.start()[i]);
+    ends.push_back(cols_.end()[i]);
   }
+  annotated_ids_.Adopt(std::move(ids));
+  region_starts_by_id_.Adopt(std::move(starts));
+  region_ends_by_id_.Adopt(std::move(ends));
+}
+
+StatusOr<RegionIndex> RegionIndex::FromBorrowed(const BorrowedParts& parts) {
+  if (!parts.columns.start_sorted) {
+    return Status::Invalid("borrowed region columns lack the start_sorted "
+                           "promise");
+  }
+  if (parts.rows_by_id.size() != parts.columns.size) {
+    return Status::Invalid("borrowed rows_by_id size mismatch");
+  }
+  if (parts.annotated_ids.size() != parts.region_starts_by_id.size() ||
+      parts.annotated_ids.size() != parts.region_ends_by_id.size() ||
+      parts.annotated_ids.size() > parts.columns.size) {
+    return Status::Invalid("borrowed id-index size mismatch");
+  }
+  RegionIndex index;
+  index.cols_.BorrowFrom(parts.columns);
+  index.annotated_ids_.Borrow(parts.annotated_ids.data(),
+                              parts.annotated_ids.size());
+  index.region_starts_by_id_.Borrow(parts.region_starts_by_id.data(),
+                                    parts.region_starts_by_id.size());
+  index.region_ends_by_id_.Borrow(parts.region_ends_by_id.data(),
+                                  parts.region_ends_by_id.size());
+  index.rows_by_id_.Borrow(parts.rows_by_id.data(), parts.rows_by_id.size());
+  return index;
 }
 
 RegionIndex RegionIndex::FromEntries(std::vector<RegionEntry> entries) {
@@ -215,7 +259,7 @@ StatusOr<RegionIndex> RegionIndex::Build(const storage::NodeTable& table,
 }
 
 RegionColumnsData RegionIndex::IntersectColumns(
-    const std::vector<storage::Pre>& ids) const {
+    storage::Span<storage::Pre> ids) const {
   const size_t n = cols_.size();
   if (ids.empty() || n == 0) return RegionColumnsData();
   // Selected row positions, ascending = start order either way.
@@ -247,7 +291,7 @@ RegionColumnsData RegionIndex::IntersectColumns(
 }
 
 std::vector<RegionEntry> RegionIndex::Intersect(
-    const std::vector<storage::Pre>& ids) const {
+    storage::Span<storage::Pre> ids) const {
   const RegionColumnsData cols = IntersectColumns(ids);
   const RegionColumns view = cols.View();
   std::vector<RegionEntry> out(view.size);
@@ -260,8 +304,8 @@ bool RegionIndex::RegionOf(storage::Pre id, int64_t* start,
   auto it = std::lower_bound(annotated_ids_.begin(), annotated_ids_.end(), id);
   if (it == annotated_ids_.end() || *it != id) return false;
   const size_t i = static_cast<size_t>(it - annotated_ids_.begin());
-  *start = regions_by_id_[i].first;
-  *end = regions_by_id_[i].second;
+  *start = region_starts_by_id_[i];
+  *end = region_ends_by_id_[i];
   return true;
 }
 
@@ -271,8 +315,13 @@ StatusOr<const RegionIndex*> RegionIndexCache::Get(
   if (doc >= store.document_count()) {
     return Status::NotFound("no document " + std::to_string(doc));
   }
-  const std::string fingerprint =
-      config.start_attr + "|" + config.end_attr + "|" + config.type;
+  const std::string fingerprint = ConfigFingerprint(config);
+  // Snapshot-preloaded indexes serve the exact config they were saved
+  // under; anything else falls through to a build from the node table.
+  for (const auto& [saved_fingerprint, index] :
+       store.document(doc).preloaded_indexes) {
+    if (saved_fingerprint == fingerprint) return index;
+  }
   auto key = std::make_pair(doc, fingerprint);
   auto it = cache_.find(key);
   if (it != cache_.end()) return const_cast<const RegionIndex*>(it->second.get());

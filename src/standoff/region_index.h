@@ -6,6 +6,12 @@
 // (document, standoff config) and cached; kept sorted by region start so
 // each join is a single forward pass.
 //
+// Every column (including the derived id-order index) is a
+// storage::Column<T>: owned when the index was built from a node table,
+// borrowed when it views an mmap'ed snapshot (RegionIndex::FromBorrowed)
+// — queries cannot tell the difference, and snapshot-backed indexes pay
+// no heap copy of any column payload.
+//
 // The array-of-structs RegionEntry form survives only as a shim:
 // `entries()` and `Intersect()` keep the tests and the brute-force
 // oracle readable; nothing on the query hot path touches them.
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/columns.h"
 #include "storage/document_store.h"
 
 namespace standoff {
@@ -66,8 +73,9 @@ struct RegionColumns {
   RegionEntry row(size_t i) const { return RegionEntry{start[i], end[i], id[i]}; }
 };
 
-/// Owning struct-of-arrays region columns — the builder behind
-/// RegionIndex and the name-test pushdown candidate sets.
+/// Owning (or, after BorrowFrom, borrowing) struct-of-arrays region
+/// columns — the builder behind RegionIndex and the name-test pushdown
+/// candidate sets.
 class RegionColumnsData {
  public:
   void Reserve(size_t n);
@@ -76,6 +84,7 @@ class RegionColumnsData {
   size_t size() const { return start_.size(); }
 
   /// Sorts all three columns by (start, end, id) via one permutation.
+  /// Owned columns only (borrowed views were saved sorted).
   void SortCanonical();
 
   /// Appends src's rows at the (ascending) positions in `rows` to this
@@ -84,19 +93,23 @@ class RegionColumnsData {
   void GatherFrom(const RegionColumnsData& src,
                   const std::vector<uint32_t>& rows);
 
+  /// Points the three columns at externally-owned memory (the mmap'ed
+  /// snapshot); `view.start_sorted` carries the saved promise.
+  void BorrowFrom(const RegionColumns& view);
+
   /// View over the columns. `start_sorted` reflects whether rows were
   /// only ever appended in non-decreasing start order or SortCanonical
   /// ran since the last out-of-order append.
   RegionColumns View() const;
 
-  const std::vector<int64_t>& start() const { return start_; }
-  const std::vector<int64_t>& end() const { return end_; }
-  const std::vector<storage::Pre>& id() const { return id_; }
+  const storage::Column<int64_t>& start() const { return start_; }
+  const storage::Column<int64_t>& end() const { return end_; }
+  const storage::Column<storage::Pre>& id() const { return id_; }
 
  private:
-  std::vector<int64_t> start_;
-  std::vector<int64_t> end_;
-  std::vector<storage::Pre> id_;
+  storage::Column<int64_t> start_;
+  storage::Column<int64_t> end_;
+  storage::Column<storage::Pre> id_;
   bool start_sorted_ = true;  // vacuously, while empty
 };
 
@@ -110,6 +123,12 @@ struct StandoffConfig {
   std::string end_attr = "end";
   std::string type = "auto";
 };
+
+/// Cache / snapshot key for a config: "start|end|type". Shared by
+/// RegionIndexCache, Document::preloaded_indexes, and the snapshot
+/// directory so a saved index is found by exactly the config that
+/// built it.
+std::string ConfigFingerprint(const StandoffConfig& config);
 
 /// StandoffConfig with attribute names resolved against a NameTable.
 struct ResolvedConfig {
@@ -141,6 +160,24 @@ class RegionIndex {
   static StatusOr<RegionIndex> Build(const storage::NodeTable& table,
                                      const ResolvedConfig& config);
 
+  /// Snapshot columns for FromBorrowed: the three region columns plus
+  /// the derived id-order arrays exactly as a built index holds them.
+  /// All spans point into memory the caller keeps alive (the mapped
+  /// file); annotated_ids/region_*_by_id are parallel, and rows_by_id
+  /// permutes [0, columns.size) into ascending-id order.
+  struct BorrowedParts {
+    RegionColumns columns;
+    storage::Span<storage::Pre> annotated_ids;
+    storage::Span<int64_t> region_starts_by_id;
+    storage::Span<int64_t> region_ends_by_id;
+    storage::Span<uint32_t> rows_by_id;
+  };
+
+  /// Wraps saved columns without copying any payload. Validates shape
+  /// (sizes consistent, start_sorted promised) but trusts content — the
+  /// snapshot checksum vouches for the bytes.
+  static StatusOr<RegionIndex> FromBorrowed(const BorrowedParts& parts);
+
   /// Columnar view over all entries, sorted by (start, end, id) — what
   /// the join kernels consume.
   RegionColumns columns() const;
@@ -153,8 +190,8 @@ class RegionIndex {
 
   /// All annotated node ids, sorted ascending (document order). This is
   /// the candidate universe the reject- operators complement against.
-  const std::vector<storage::Pre>& annotated_ids() const {
-    return annotated_ids_;
+  storage::Span<storage::Pre> annotated_ids() const {
+    return annotated_ids_.span();
   }
 
   size_t size() const { return cols_.size(); }
@@ -164,12 +201,10 @@ class RegionIndex {
   /// Adaptive: a linear merge over the id-sorted entry permutation when
   /// `ids` is dense relative to the index (O(n + m)), a per-entry binary
   /// search into `ids` when it is sparse (O(n log m)).
-  RegionColumnsData IntersectColumns(
-      const std::vector<storage::Pre>& ids) const;
+  RegionColumnsData IntersectColumns(storage::Span<storage::Pre> ids) const;
 
   /// AoS shim over IntersectColumns, kept for tests.
-  std::vector<RegionEntry> Intersect(const std::vector<storage::Pre>& ids)
-      const;
+  std::vector<RegionEntry> Intersect(storage::Span<storage::Pre> ids) const;
 
   /// Region of an annotated node; false if the node has no region.
   bool RegionOf(storage::Pre id, int64_t* start, int64_t* end) const;
@@ -179,17 +214,20 @@ class RegionIndex {
   /// matched candidates back into context rows for the next edge.
   template <typename Fn>
   void ForEachRegionOf(storage::Pre id, Fn fn) const {
+    const uint32_t* begin = rows_by_id_.begin();
+    const uint32_t* end_it = rows_by_id_.end();
     auto it = std::lower_bound(
-        rows_by_id_.begin(), rows_by_id_.end(), id,
-        [this](uint32_t row, storage::Pre value) {
+        begin, end_it, id, [this](uint32_t row, storage::Pre value) {
           return cols_.id()[row] < value;
         });
-    for (; it != rows_by_id_.end() && cols_.id()[*it] == id; ++it) {
+    for (; it != end_it && cols_.id()[*it] == id; ++it) {
       fn(cols_.start()[*it], cols_.end()[*it]);
     }
   }
 
  private:
+  friend class storage::SnapshotIO;
+
   /// Lazily-built AoS mirror of the columns; heap-held so RegionIndex
   /// stays movable and the entries() reference stays stable.
   struct AosShim {
@@ -199,18 +237,22 @@ class RegionIndex {
 
   RegionColumnsData cols_;                 // sorted by (start, end, id)
   mutable std::unique_ptr<AosShim> aos_ = std::make_unique<AosShim>();
-  std::vector<storage::Pre> annotated_ids_;  // sorted by id
+  storage::Column<storage::Pre> annotated_ids_;  // sorted by id
   // Parallel to annotated_ids_: that id's (first) region, for RegionOf.
-  std::vector<std::pair<int64_t, int64_t>> regions_by_id_;
+  storage::Column<int64_t> region_starts_by_id_;
+  storage::Column<int64_t> region_ends_by_id_;
   // Row positions permuted into ascending-id order: the dense-side
   // merge input for IntersectColumns.
-  std::vector<uint32_t> rows_by_id_;
+  storage::Column<uint32_t> rows_by_id_;
 
   void BuildIdIndex();
 };
 
-/// Caches one RegionIndex per (document, config). Returned pointers stay
-/// valid for the life of the cache.
+/// Caches one RegionIndex per (document, config), consulting the
+/// document's snapshot-preloaded indexes first — a snapshot-backed
+/// store serves its mmap'ed indexes through the same Get. Returned
+/// pointers stay valid for the life of the cache (or, for preloaded
+/// indexes, the Snapshot that owns them).
 class RegionIndexCache {
  public:
   StatusOr<const RegionIndex*> Get(const storage::DocumentStore& store,

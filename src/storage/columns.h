@@ -1,17 +1,156 @@
-// Struct-of-arrays column utilities: permutation sort for keeping a set
-// of parallel columns in one order without materializing row structs.
-// Used by the standoff region index to maintain its columnar layout and
-// by anything else that keeps SoA tables sorted.
+// Struct-of-arrays column utilities: the owned-or-borrowed Column<T>
+// every columnar table in the store is built from, the non-owning
+// Span<T> view the query layers consume, and permutation-sort helpers
+// for keeping a set of parallel columns in one order without
+// materializing row structs.
+//
+// Ownership model (the zero-copy snapshot contract):
+//   * An OWNED column is a std::vector built by the shredder / index
+//     builders; mutation is only legal in this state.
+//   * A BORROWED column is a {pointer, size} view into memory somebody
+//     else keeps alive — in practice an mmap'ed snapshot file. Borrowed
+//     columns are immutable and cost no heap copy of the payload.
+// Readers never care which state they see: data()/size()/operator[]
+// serve both, and Span<T> erases the distinction entirely.
 #ifndef STANDOFF_STORAGE_COLUMNS_H_
 #define STANDOFF_STORAGE_COLUMNS_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <numeric>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace standoff {
 namespace storage {
+
+/// Non-owning view of `size` contiguous values. Implicitly constructible
+/// from std::vector so Span-taking APIs accept existing vector call
+/// sites unchanged. The referenced memory must outlive the span (for
+/// snapshot-backed columns: the Snapshot object).
+template <typename T>
+struct Span {
+  Span() = default;
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional adapter.
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+template <typename T>
+inline bool operator==(Span<T> a, Span<T> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+template <typename T>
+inline bool operator!=(Span<T> a, Span<T> b) {
+  return !(a == b);
+}
+
+/// One column that is either owned (a vector, mutable) or borrowed (a
+/// view into external memory, immutable). Default-constructed columns
+/// are owned and empty. Copy/move follow the underlying vector for
+/// owned columns and copy the view for borrowed ones.
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+
+  size_t size() const { return borrowed_ ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T* data() const { return borrowed_ ? view_ : owned_.data(); }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& back() const { return data()[size() - 1]; }
+  Span<T> span() const { return Span<T>(data(), size()); }
+  bool borrowed() const { return borrowed_; }
+
+  /// Mutable element access — owned columns only.
+  T& operator[](size_t i) {
+    assert(!borrowed_);
+    return owned_[i];
+  }
+
+  void reserve(size_t n) {
+    assert(!borrowed_);
+    owned_.reserve(n);
+  }
+  void push_back(const T& v) {
+    assert(!borrowed_);
+    owned_.push_back(v);
+  }
+  void resize(size_t n, const T& v = T()) {
+    assert(!borrowed_);
+    owned_.resize(n, v);
+  }
+  void append(const T* p, size_t n) {
+    assert(!borrowed_);
+    owned_.insert(owned_.end(), p, p + n);
+  }
+
+  /// Drops any borrowed view or owned contents; the column is owned
+  /// and empty afterwards.
+  void clear() {
+    owned_.clear();
+    borrowed_ = false;
+    view_ = nullptr;
+    view_size_ = 0;
+  }
+
+  /// Takes ownership of an already-built vector (no copy).
+  void Adopt(std::vector<T> v) {
+    owned_ = std::move(v);
+    borrowed_ = false;
+  }
+
+  /// Points the column at externally-owned memory. The previous owned
+  /// storage is released; the caller guarantees [data, data + n) stays
+  /// valid and immutable for the column's lifetime.
+  void Borrow(const T* data, size_t n) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    borrowed_ = true;
+    view_ = data;
+    view_size_ = n;
+  }
+
+  /// The owned vector, for algorithms that rebuild a column in place
+  /// (permutation application). Owned columns only.
+  std::vector<T>& owned_vector() {
+    assert(!borrowed_);
+    return owned_;
+  }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_ = nullptr;
+  size_t view_size_ = 0;
+  bool borrowed_ = false;
+};
+
+/// Character columns double as string buffers; these helpers keep the
+/// call sites readable.
+inline void AppendBytes(std::string_view s, Column<char>* col) {
+  col->append(s.data(), s.size());
+}
+inline std::string_view ViewBytes(const Column<char>& col, size_t offset,
+                                  size_t length) {
+  return std::string_view(col.data() + offset, length);
+}
 
 /// The permutation that sorts row indices [0, n) by `less(a, b)`
 /// (stable, so equal rows keep their input order).
@@ -35,11 +174,26 @@ void ApplyPermutation(const std::vector<uint32_t>& perm,
   *col = std::move(reordered);
 }
 
+template <typename T>
+void ApplyPermutation(const std::vector<uint32_t>& perm, Column<T>* col) {
+  std::vector<T> reordered;
+  reordered.reserve(col->size());
+  for (uint32_t i : perm) reordered.push_back((*col)[i]);
+  col->Adopt(std::move(reordered));
+}
+
 /// Gathers the subset of a column selected by sorted `rows` indices,
 /// appending to `*out` — the columnar intersection/filter primitive.
 template <typename T>
 void GatherColumn(const std::vector<T>& col,
                   const std::vector<uint32_t>& rows, std::vector<T>* out) {
+  out->reserve(out->size() + rows.size());
+  for (uint32_t i : rows) out->push_back(col[i]);
+}
+
+template <typename T>
+void GatherColumn(const Column<T>& col, const std::vector<uint32_t>& rows,
+                  Column<T>* out) {
   out->reserve(out->size() + rows.size());
   for (uint32_t i : rows) out->push_back(col[i]);
 }

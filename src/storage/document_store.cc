@@ -11,9 +11,10 @@ namespace storage {
 NameId NameTable::Intern(std::string_view name) {
   auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
-  const NameId id = static_cast<NameId>(names_.size());
-  names_.push_back(std::make_unique<std::string>(name));
-  ids_.emplace(std::string_view(*names_.back()), id);
+  const NameId id = static_cast<NameId>(views_.size());
+  owned_.push_back(std::make_unique<std::string>(name));
+  views_.push_back(std::string_view(*owned_.back()));
+  ids_.emplace(views_.back(), id);
   return id;
 }
 
@@ -23,11 +24,23 @@ NameId NameTable::Lookup(std::string_view name) const {
 }
 
 void ElementIndex::Build(const NodeTable& table, size_t name_count) {
-  by_name_.assign(name_count, {});
+  // Two-pass counting build into one flat column: count per name,
+  // prefix-sum into begin offsets, then fill. Exactly three
+  // allocations regardless of name_count, and the planner's stats
+  // passes scan one contiguous array per name.
   const Pre n = static_cast<Pre>(table.size());
+  std::vector<uint32_t> offsets(name_count + 1, 0);
   for (Pre pre = 0; pre < n; ++pre) {
-    if (table.IsElement(pre)) by_name_[table.name(pre)].push_back(pre);
+    if (table.IsElement(pre)) ++offsets[table.name(pre) + 1];
   }
+  for (size_t i = 1; i <= name_count; ++i) offsets[i] += offsets[i - 1];
+  std::vector<Pre> pres(offsets[name_count]);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (Pre pre = 0; pre < n; ++pre) {
+    if (table.IsElement(pre)) pres[cursor[table.name(pre)]++] = pre;
+  }
+  offsets_.Adopt(std::move(offsets));
+  pres_.Adopt(std::move(pres));
 }
 
 /// Streams tokenizer events straight into the columnar node table —
@@ -79,7 +92,7 @@ class Shredder {
                 static_cast<uint32_t>(table_->attr_values_.size()));
             table_->attr_value_lengths_.push_back(
                 static_cast<uint32_t>(attr.value.size()));
-            table_->attr_values_.append(attr.value);
+            AppendBytes(attr.value, &table_->attr_values_);
           }
           if (tokenizer.self_closing()) {
             CloseNode(pre);
@@ -92,7 +105,7 @@ class Shredder {
         case xml::TokenType::kEndElement: {
           if (open_.size() <= 1 || open_names_.back() != tokenizer.name()) {
             return Status::Invalid("xml parse error: mismatched </" +
-                                   tokenizer.name() + ">");
+                                   std::string(tokenizer.name()) + ">");
           }
           CloseNode(open_.back());
           open_.pop_back();
@@ -112,7 +125,7 @@ class Shredder {
               static_cast<uint32_t>(table_->text_buffer_.size());
           table_->text_lengths_[pre] =
               static_cast<uint32_t>(tokenizer.text().size());
-          table_->text_buffer_.append(tokenizer.text());
+          AppendBytes(tokenizer.text(), &table_->text_buffer_);
           CloseNode(pre);
           break;
         }
@@ -153,16 +166,37 @@ class Shredder {
   NodeTable* table_;
   NameTable* names_;
   std::vector<Pre> open_;
-  std::vector<std::string> open_names_;
+  // Views into the input being shredded (alive for the whole Run call).
+  std::vector<std::string_view> open_names_;
 };
+
+void NodeTable::RemapNames(Span<NameId> remap) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] != kInvalidName) names_[i] = remap[names_[i]];
+  }
+  for (size_t i = 0; i < attr_names_.size(); ++i) {
+    attr_names_[i] = remap[attr_names_[i]];
+  }
+}
+
+Status ShredDocumentText(std::string_view xml_text, NameTable* names,
+                         Document* doc) {
+  Shredder shredder(&doc->table, names);
+  return shredder.Run(xml_text);
+}
 
 StatusOr<DocId> DocumentStore::AddDocumentText(std::string name,
                                                std::string_view xml_text) {
   auto doc = std::make_unique<Document>();
   doc->name = std::move(name);
-  Shredder shredder(&doc->table, &names_);
-  STANDOFF_RETURN_IF_ERROR(shredder.Run(xml_text));
+  STANDOFF_RETURN_IF_ERROR(ShredDocumentText(xml_text, &names_, doc.get()));
   doc->element_index.Build(doc->table, names_.size());
+  const DocId id = static_cast<DocId>(docs_.size());
+  docs_.push_back(std::move(doc));
+  return id;
+}
+
+DocId DocumentStore::AdoptDocument(std::unique_ptr<Document> doc) {
   const DocId id = static_cast<DocId>(docs_.size());
   docs_.push_back(std::move(doc));
   return id;

@@ -7,12 +7,18 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/node_table.h"
 
 namespace standoff {
+
+namespace so {
+class RegionIndex;  // standoff/region_index.h
+}  // namespace so
+
 namespace storage {
 
 struct Document {
@@ -20,7 +26,22 @@ struct Document {
   NodeTable table;
   ElementIndex element_index;
   std::string blob;  // StandOff base text; empty for nested documents
+
+  /// Region indexes preloaded from a snapshot, keyed by the standoff
+  /// config fingerprint (see so::ConfigFingerprint). Non-owning — the
+  /// Snapshot that opened this store keeps them (and the mapped columns
+  /// they borrow) alive. RegionIndexCache consults this list before
+  /// rebuilding an index from attribute strings.
+  std::vector<std::pair<std::string, const so::RegionIndex*>>
+      preloaded_indexes;
 };
+
+/// Parses and shreds `xml_text` into `*doc` against `*names` — the
+/// single-document substrate AddDocumentText and the parallel ingester
+/// share. Does NOT build the element index (callers do, once the final
+/// name-id space is known).
+Status ShredDocumentText(std::string_view xml_text, NameTable* names,
+                         Document* doc);
 
 class DocumentStore {
  public:
@@ -30,10 +51,21 @@ class DocumentStore {
 
   Status SetBlob(DocId doc, std::string blob);
 
+  /// Takes ownership of an externally shredded document (snapshot open,
+  /// parallel ingestion). The document's NameIds must already be valid
+  /// against this store's name table.
+  DocId AdoptDocument(std::unique_ptr<Document> doc);
+
   const Document& document(DocId doc) const { return *docs_[doc]; }
   const NodeTable& table(DocId doc) const { return docs_[doc]->table; }
   const NameTable& names() const { return names_; }
   size_t document_count() const { return docs_.size(); }
+
+  /// Substrate hook for the ingestion and snapshot subsystems, which
+  /// intern (or borrow) names outside AddDocumentText. Query-layer code
+  /// must use the const accessor above.
+  NameTable* mutable_names() { return &names_; }
+  Document* mutable_document(DocId doc) { return docs_[doc].get(); }
 
  private:
   NameTable names_;

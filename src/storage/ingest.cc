@@ -1,0 +1,84 @@
+#include "storage/ingest.h"
+
+#include <memory>
+#include <utility>
+
+namespace standoff {
+namespace storage {
+
+namespace {
+
+/// Phases 1-3 of parallel ingestion: shred (parallel, local names),
+/// merge names + compute remaps (serial), rewrite name columns + build
+/// element indexes (parallel). Fills `docs` ready for adoption.
+Status ShredAndIndexParallel(DocumentStore* store,
+                             const std::vector<IngestInput>& inputs,
+                             ThreadPool* pool,
+                             std::vector<std::unique_ptr<Document>>* docs) {
+  const size_t n = inputs.size();
+  docs->resize(n);
+  std::vector<std::unique_ptr<NameTable>> local_names(n);
+  STANDOFF_RETURN_IF_ERROR(ParallelFor(
+      pool, 0, n, [&](size_t i) -> Status {
+        local_names[i] = std::make_unique<NameTable>();
+        (*docs)[i] = std::make_unique<Document>();
+        (*docs)[i]->name = inputs[i].name;
+        return ShredDocumentText(inputs[i].xml, local_names[i].get(),
+                                 (*docs)[i].get());
+      }));
+
+  // Serial name merge, in document order: a local table lists names in
+  // first-encounter order, so interning doc 0's names, then doc 1's new
+  // names, ... assigns exactly the ids serial loading would.
+  NameTable* shared = store->mutable_names();
+  std::vector<std::vector<NameId>> remap(n);
+  // Serial loading sizes each document's element index with the name
+  // count AS OF that document; matching it keeps a parallel-ingested
+  // store byte-identical to a serial one (snapshots included).
+  std::vector<size_t> name_count_after(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t local_count = local_names[i]->size();
+    remap[i].reserve(local_count);
+    for (NameId id = 0; id < local_count; ++id) {
+      remap[i].push_back(shared->Intern(local_names[i]->name(id)));
+    }
+    name_count_after[i] = shared->size();
+  }
+
+  // Rewrite + element-index build are per-document independent; the
+  // shared name table is only read from here on.
+  return ParallelFor(pool, 0, n, [&](size_t i) -> Status {
+    (*docs)[i]->table.RemapNames(Span<NameId>(remap[i]));
+    (*docs)[i]->element_index.Build((*docs)[i]->table, name_count_after[i]);
+    return Status::OK();
+  });
+}
+
+}  // namespace
+
+StatusOr<std::vector<DocId>> AddDocumentsParallel(
+    DocumentStore* store, const std::vector<IngestInput>& inputs,
+    ThreadPool* pool) {
+  std::vector<std::unique_ptr<Document>> docs;
+  STANDOFF_RETURN_IF_ERROR(
+      ShredAndIndexParallel(store, inputs, pool, &docs));
+  std::vector<DocId> ids;
+  ids.reserve(docs.size());
+  for (auto& doc : docs) ids.push_back(store->AdoptDocument(std::move(doc)));
+  return ids;
+}
+
+StatusOr<std::vector<DocId>> AddDocumentsParallel(
+    ShardedStore* store, const std::vector<IngestInput>& inputs,
+    ThreadPool* pool) {
+  std::vector<std::unique_ptr<Document>> docs;
+  STANDOFF_RETURN_IF_ERROR(
+      ShredAndIndexParallel(store->mutable_store(), inputs, pool, &docs));
+  std::vector<DocId> ids;
+  ids.reserve(docs.size());
+  for (auto& doc : docs) ids.push_back(store->AdoptDocument(std::move(doc)));
+  return ids;
+}
+
+}  // namespace storage
+}  // namespace standoff

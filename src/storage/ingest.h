@@ -1,0 +1,51 @@
+// Parallel multi-document ingestion: parse + shred fan out one task per
+// document over the shared thread pool, element-name indexes build in a
+// second parallel pass, and only the (cheap) name-dictionary merge runs
+// serially in between.
+//
+// Determinism contract: the resulting store — DocIds, NameIds, node
+// tables, element indexes — is byte-identical to calling
+// AddDocumentText serially in input order. Each task shreds against its
+// own local NameTable; local tables are then merged into the shared one
+// in document order (a local table records names in first-encounter
+// order, so the merged id assignment equals the serial one) and every
+// table's name columns are rewritten through the per-document remap.
+#ifndef STANDOFF_STORAGE_INGEST_H_
+#define STANDOFF_STORAGE_INGEST_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "storage/document_store.h"
+#include "storage/sharded_store.h"
+
+namespace standoff {
+namespace storage {
+
+struct IngestInput {
+  std::string name;      // document name
+  std::string_view xml;  // must stay alive for the duration of the call
+};
+
+/// Parses, shreds, and indexes every input (one task per document on
+/// `pool`; null or empty pool degrades to the calling thread) and
+/// adopts the documents into `store` in input order. Returns the new
+/// DocIds. On any parse error, nothing is adopted and the first error
+/// (in pool completion order) is returned.
+StatusOr<std::vector<DocId>> AddDocumentsParallel(
+    DocumentStore* store, const std::vector<IngestInput>& inputs,
+    ThreadPool* pool);
+
+/// As above; documents are additionally filed under their round-robin
+/// shard, exactly as serial ShardedStore::AddDocumentText would.
+StatusOr<std::vector<DocId>> AddDocumentsParallel(
+    ShardedStore* store, const std::vector<IngestInput>& inputs,
+    ThreadPool* pool);
+
+}  // namespace storage
+}  // namespace standoff
+
+#endif  // STANDOFF_STORAGE_INGEST_H_

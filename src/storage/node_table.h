@@ -5,6 +5,11 @@
 //
 // Pre 0 is always the document node; pre 1 the root element. Text nodes
 // occupy pre slots; whitespace-only text is dropped at shred time.
+//
+// Every column is a storage::Column<T>: owned when the table was built
+// by the shredder, borrowed when it views an mmap'ed snapshot — the
+// accessors serve both states identically (see columns.h for the
+// ownership contract).
 #ifndef STANDOFF_STORAGE_NODE_TABLE_H_
 #define STANDOFF_STORAGE_NODE_TABLE_H_
 
@@ -16,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "storage/columns.h"
+
 namespace standoff {
 namespace storage {
 
@@ -25,6 +32,8 @@ using DocId = uint32_t;
 
 inline constexpr NameId kInvalidName = 0xFFFFFFFFu;
 
+class SnapshotIO;  // snapshot.cc's private-access shim
+
 enum class NodeKind : uint8_t {
   kDocument = 0,
   kElement = 1,
@@ -33,6 +42,11 @@ enum class NodeKind : uint8_t {
 
 /// Interns element and attribute names to dense 32-bit ids, shared by all
 /// documents in a store so NameIds compare across documents.
+///
+/// A snapshot-opened table serves name bytes straight from the mapped
+/// file: `views_` then points into borrowed memory and only the id hash
+/// map is rebuilt. Names interned after that get owned backing storage
+/// as usual, so a borrowed store can still load new documents.
 class NameTable {
  public:
   NameId Intern(std::string_view name);
@@ -40,12 +54,17 @@ class NameTable {
   /// Returns kInvalidName when the name was never interned.
   NameId Lookup(std::string_view name) const;
 
-  std::string_view name(NameId id) const { return *names_[id]; }
-  size_t size() const { return names_.size(); }
+  std::string_view name(NameId id) const { return views_[id]; }
+  size_t size() const { return views_.size(); }
 
  private:
-  // unique_ptr keeps string_view keys stable across vector growth.
-  std::vector<std::unique_ptr<std::string>> names_;
+  friend class SnapshotIO;
+
+  /// views_[id] is what name() serves: it points into owned_ for
+  /// interned names and into external (snapshot) memory for borrowed
+  /// ones. unique_ptr keeps owned views stable across vector growth.
+  std::vector<std::string_view> views_;
+  std::vector<std::unique_ptr<std::string>> owned_;
   std::unordered_map<std::string_view, NameId> ids_;
 };
 
@@ -63,8 +82,7 @@ class NodeTable {
 
   /// Text content of a text node.
   std::string_view text(Pre pre) const {
-    return std::string_view(text_buffer_).substr(text_offsets_[pre],
-                                                 text_lengths_[pre]);
+    return ViewBytes(text_buffer_, text_offsets_[pre], text_lengths_[pre]);
   }
 
   /// Attribute lookup on an element; {false, ""} when absent.
@@ -74,13 +92,18 @@ class NodeTable {
     const uint32_t end = attr_begins_[pre + 1];
     for (uint32_t a = begin; a < end; ++a) {
       if (attr_names_[a] == attr_name) {
-        return {true, std::string_view(attr_values_)
-                          .substr(attr_value_offsets_[a],
-                                  attr_value_lengths_[a])};
+        return {true, ViewBytes(attr_values_, attr_value_offsets_[a],
+                                attr_value_lengths_[a])};
       }
     }
     return {false, std::string_view()};
   }
+
+  /// Rewrites every element and attribute NameId through `remap`
+  /// (old id -> new id); kInvalidName entries pass through. Parallel
+  /// ingestion shreds against a task-local name table and rewrites to
+  /// the shared store's ids afterwards.
+  void RemapNames(Span<NameId> remap);
 
   uint32_t attribute_count(Pre pre) const {
     return attr_begins_[pre + 1] - attr_begins_[pre];
@@ -90,33 +113,38 @@ class NodeTable {
   }
   std::string_view attribute_value(Pre pre, uint32_t i) const {
     const uint32_t a = attr_begins_[pre] + i;
-    return std::string_view(attr_values_)
-        .substr(attr_value_offsets_[a], attr_value_lengths_[a]);
+    return ViewBytes(attr_values_, attr_value_offsets_[a],
+                     attr_value_lengths_[a]);
   }
 
  private:
   friend class Shredder;
+  friend class SnapshotIO;
 
-  std::vector<NodeKind> kinds_;
-  std::vector<NameId> names_;
-  std::vector<Pre> parents_;
-  std::vector<uint32_t> sizes_;
-  std::vector<uint16_t> levels_;
+  Column<NodeKind> kinds_;
+  Column<NameId> names_;
+  Column<Pre> parents_;
+  Column<uint32_t> sizes_;
+  Column<uint16_t> levels_;
 
   // Per-node [attr_begins_[pre], attr_begins_[pre+1]) spans into the
   // attribute columns; attr_begins_ has size() + 1 entries.
-  std::vector<uint32_t> attr_begins_;
-  std::vector<NameId> attr_names_;
-  std::vector<uint32_t> attr_value_offsets_;
-  std::vector<uint32_t> attr_value_lengths_;
-  std::string attr_values_;
+  Column<uint32_t> attr_begins_;
+  Column<NameId> attr_names_;
+  Column<uint32_t> attr_value_offsets_;
+  Column<uint32_t> attr_value_lengths_;
+  Column<char> attr_values_;
 
-  std::vector<uint32_t> text_offsets_;
-  std::vector<uint32_t> text_lengths_;
-  std::string text_buffer_;
+  Column<uint32_t> text_offsets_;
+  Column<uint32_t> text_lengths_;
+  Column<char> text_buffer_;
 };
 
-/// Inverted element-name index: name -> sorted pre numbers. Powers the
+/// Inverted element-name index: name -> sorted pre numbers, stored as
+/// one flat document-order `pres_` column partitioned by an
+/// `offsets_` array (offsets_[name] .. offsets_[name + 1]). Built in
+/// two counting passes — no per-name vector allocations — and
+/// borrowable from a snapshot like every other column. Powers the
 /// name-test pushdown in front of the StandOff joins and the fast
 /// descendant axis.
 class ElementIndex {
@@ -124,15 +152,22 @@ class ElementIndex {
   void Build(const NodeTable& table, size_t name_count);
 
   /// Sorted (document-order) pres of elements with this name; empty
-  /// vector for unknown ids.
-  const std::vector<Pre>& Lookup(NameId name) const {
-    if (name >= by_name_.size()) return empty_;
-    return by_name_[name];
+  /// span for unknown ids.
+  Span<Pre> Lookup(NameId name) const {
+    if (name >= name_count()) return Span<Pre>();
+    return Span<Pre>(pres_.data() + offsets_[name],
+                     offsets_[name + 1] - offsets_[name]);
+  }
+
+  size_t name_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
   }
 
  private:
-  std::vector<std::vector<Pre>> by_name_;
-  std::vector<Pre> empty_;
+  friend class SnapshotIO;
+
+  Column<uint32_t> offsets_;  // name_count + 1 entries
+  Column<Pre> pres_;          // flat, grouped by name, doc order within
 };
 
 }  // namespace storage

@@ -11,6 +11,12 @@ StatusOr<DocId> ShardedStore::AddDocumentText(std::string name,
   return *doc;
 }
 
+DocId ShardedStore::AdoptDocument(std::unique_ptr<Document> doc) {
+  const DocId id = store_.AdoptDocument(std::move(doc));
+  shard_docs_[shard_of(id)].push_back(id);
+  return id;
+}
+
 Status ShardedStore::SetBlob(DocId doc, std::string blob) {
   return store_.SetBlob(doc, std::move(blob));
 }

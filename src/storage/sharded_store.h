@@ -29,6 +29,11 @@ class ShardedStore {
   /// the new document under shard `doc % shard_count`.
   StatusOr<DocId> AddDocumentText(std::string name, std::string_view xml_text);
 
+  /// Takes ownership of an externally shredded document and files it
+  /// under its shard — the adoption path parallel ingestion and
+  /// snapshot open use.
+  DocId AdoptDocument(std::unique_ptr<Document> doc);
+
   Status SetBlob(DocId doc, std::string blob);
 
   uint32_t shard_count() const {
@@ -45,6 +50,10 @@ class ShardedStore {
   /// element indexes. Const access is thread-safe once loading is done.
   const DocumentStore& store() const { return store_; }
   size_t document_count() const { return store_.document_count(); }
+
+  /// Substrate hook for ingestion/snapshot (name interning, adopted
+  /// documents). Query-layer code must use the const accessor above.
+  DocumentStore* mutable_store() { return &store_; }
 
  private:
   DocumentStore store_;

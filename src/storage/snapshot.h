@@ -1,0 +1,115 @@
+// Binary columnar snapshots: the cold-start path of the store.
+//
+// SaveSnapshot serializes a loaded store — name dictionary, every
+// document's node-table and attribute columns, element-name indexes,
+// blobs, and one prebuilt RegionIndex per (document, standoff config) —
+// into a single versioned, checksummed file with a per-document offset
+// directory. Snapshot::Open maps that file read-only and hands out a
+// ShardedStore whose columns BORROW directly from the mapping
+// (storage::Column<T> borrowed state): no deserialization, no heap
+// copies of column payloads, OS page cache shared across processes.
+// Region indexes are reconstructed with RegionIndex::FromBorrowed —
+// their sorted columns, id-order index, and start_sorted promise come
+// straight from the file — and registered in each document's
+// preloaded_indexes list, so every Engine serves them through the
+// ordinary RegionIndexCache::Get.
+//
+// What is NOT zero-copy: per-document metadata (names, the Document
+// objects, shard lists), the name-dictionary hash map (rebuilt over
+// borrowed keys), and StandOff base-text blobs (std::string today).
+// All are O(documents + names), not O(column bytes).
+//
+// File layout (DESIGN.md §11 has the full specification):
+//
+//   [header 64B] [8-byte-aligned column segments ...] [TOC]
+//
+// The header carries magic, format version, an endianness marker, the
+// file size, the TOC location, and an FNV-1a 64 checksum over
+// everything after the header. The TOC holds the name dictionary
+// refs, the per-document directory (one entry per document: name,
+// blob ref, 13 node-table column refs, element-index refs), and the
+// region-index directory (doc, config, 7 column refs each).
+#ifndef STANDOFF_STORAGE_SNAPSHOT_H_
+#define STANDOFF_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "standoff/region_index.h"
+#include "storage/document_store.h"
+#include "storage/sharded_store.h"
+
+namespace standoff {
+namespace storage {
+
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+struct SnapshotWriteOptions {
+  /// One RegionIndex per (document, config) is built — reusing the
+  /// document's preloaded index when fingerprints match — and embedded.
+  std::vector<so::StandoffConfig> configs{so::StandoffConfig{}};
+  /// Parallelizes the per-(document, config) region-index builds; null
+  /// (or zero-worker) pool builds on the calling thread.
+  ThreadPool* pool = nullptr;
+};
+
+/// Serializes `store` to `path` (atomically: written to "<path>.tmp",
+/// then renamed). shard_count is preserved.
+Status SaveSnapshot(const ShardedStore& store, const std::string& path,
+                    const SnapshotWriteOptions& options = {});
+
+/// DocumentStore convenience form; saved with shard_count = 1.
+Status SaveSnapshot(const DocumentStore& store, const std::string& path,
+                    const SnapshotWriteOptions& options = {});
+
+struct SnapshotOpenOptions {
+  /// Verify the whole-file checksum before trusting any bytes. One
+  /// linear pass over the mapping; disable only for benchmarks that
+  /// want to isolate the pure mapping cost.
+  bool verify_checksum = true;
+};
+
+/// An open snapshot: owns the file mapping, the store built over it,
+/// and the preloaded region indexes. The store and every view derived
+/// from it are valid exactly as long as this object lives.
+class Snapshot {
+ public:
+  static StatusOr<std::unique_ptr<Snapshot>> Open(
+      const std::string& path, const SnapshotOpenOptions& options = {});
+
+  ~Snapshot();
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// The snapshot-backed store (columns borrow from the mapping).
+  const ShardedStore& sharded_store() const { return *store_; }
+  const DocumentStore& store() const { return store_->store(); }
+  uint32_t shard_count() const { return store_->shard_count(); }
+
+  size_t file_size() const { return map_size_; }
+  size_t region_index_count() const { return indexes_.size(); }
+
+ private:
+  Snapshot() = default;
+
+  // Declared before the store/indexes so it is destroyed AFTER them
+  // (members destruct in reverse order) — not load-bearing, since
+  // borrowed columns never touch their bytes on destruction, but it
+  // keeps the lifetime story simple.
+  void* map_ = nullptr;
+  size_t map_size_ = 0;
+  bool heap_fallback_ = false;  // non-POSIX: file read into heap memory
+
+  std::unique_ptr<ShardedStore> store_;
+  std::vector<std::unique_ptr<so::RegionIndex>> indexes_;
+
+  friend class SnapshotIO;
+};
+
+}  // namespace storage
+}  // namespace standoff
+
+#endif  // STANDOFF_STORAGE_SNAPSHOT_H_

@@ -51,9 +51,12 @@ StatusOr<StandoffDocument> ToStandoff(std::string_view nested_xml) {
           root_name = tokenizer.name();
         }
         Annotation ann;
-        ann.open = "<" + tokenizer.name();
+        ann.open = "<";
+        ann.open += tokenizer.name();
         for (const xml::Attr& attr : tokenizer.attrs()) {
-          ann.open += " " + attr.name + "=\"";
+          ann.open += " ";
+          ann.open += attr.name;
+          ann.open += "=\"";
           AppendEscaped(attr.value, &ann.open);
           ann.open += "\"";
         }

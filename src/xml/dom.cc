@@ -17,7 +17,7 @@ const Node* Node::FindChild(std::string_view child_name) const {
 }
 
 std::string_view Node::FindAttr(std::string_view attr_name) const {
-  for (const Attr& attr : attrs) {
+  for (const OwnedAttr& attr : attrs) {
     if (attr.name == attr_name) return attr.value;
   }
   return {};
@@ -58,14 +58,19 @@ StatusOr<Document> Parse(std::string_view input) {
         }
         node->kind = Node::Kind::kElement;
         node->name = tokenizer.name();
-        node->attrs = tokenizer.attrs();
+        node->attrs.clear();
+        node->attrs.reserve(tokenizer.attrs().size());
+        for (const Attr& attr : tokenizer.attrs()) {
+          node->attrs.push_back(
+              OwnedAttr{std::string(attr.name), std::string(attr.value)});
+        }
         if (!tokenizer.self_closing()) open.push_back(node);
         break;
       }
       case TokenType::kEndElement:
         if (open.empty() || open.back()->name != tokenizer.name()) {
           return Status::Invalid("xml parse error: mismatched </" +
-                                 tokenizer.name() + ">");
+                                 std::string(tokenizer.name()) + ">");
         }
         open.pop_back();
         break;

@@ -17,13 +17,20 @@
 namespace standoff {
 namespace xml {
 
+/// DOM attributes own their bytes (the tokenizer's Attr is a borrowed
+/// view that dies on the next token).
+struct OwnedAttr {
+  std::string name;
+  std::string value;
+};
+
 struct Node {
   enum class Kind { kElement, kText };
 
   Kind kind = Kind::kElement;
   std::string name;                // element name (elements only)
   std::string text;                // character data (text nodes only)
-  std::vector<Attr> attrs;         // elements only
+  std::vector<OwnedAttr> attrs;    // elements only
   std::vector<Node> children;      // elements only
 
   const Node* FindChild(std::string_view child_name) const;

@@ -46,14 +46,21 @@ Status Tokenizer::Error(const std::string& what) const {
                          ": " + what);
 }
 
-Status Tokenizer::ReadName(std::string* out) {
+Status Tokenizer::ReadName(std::string_view* out) {
   if (pos_ >= input_.size() || !IsNameStart(input_[pos_])) {
     return Error("expected name");
   }
   size_t begin = pos_;
   while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
-  out->assign(input_.data() + begin, pos_ - begin);
+  *out = input_.substr(begin, pos_ - begin);
   return Status::OK();
+}
+
+std::string* Tokenizer::NextAttrScratch() {
+  if (attr_scratch_used_ == attr_scratch_.size()) attr_scratch_.emplace_back();
+  std::string* s = &attr_scratch_[attr_scratch_used_++];
+  s->clear();
+  return s;
 }
 
 Status Tokenizer::AppendUnescaped(std::string_view raw, std::string* out) {
@@ -121,6 +128,7 @@ Status Tokenizer::ReadStartTag() {
   ++pos_;  // consume '<'
   STANDOFF_RETURN_IF_ERROR(ReadName(&name_));
   attrs_.clear();
+  attr_scratch_used_ = 0;
   self_closing_ = false;
   while (true) {
     while (pos_ < input_.size() && IsSpace(input_[pos_])) ++pos_;
@@ -156,8 +164,14 @@ Status Tokenizer::ReadStartTag() {
     if (end == std::string_view::npos) {
       return Error("unterminated attribute value");
     }
-    STANDOFF_RETURN_IF_ERROR(
-        AppendUnescaped(input_.substr(pos_, end - pos_), &attr.value));
+    const std::string_view raw = input_.substr(pos_, end - pos_);
+    if (raw.find('&') == std::string_view::npos) {
+      attr.value = raw;  // fast path: a slice of the input, no copy
+    } else {
+      std::string* scratch = NextAttrScratch();
+      STANDOFF_RETURN_IF_ERROR(AppendUnescaped(raw, scratch));
+      attr.value = *scratch;
+    }
     pos_ = end + 1;
   }
 }
@@ -174,8 +188,30 @@ Status Tokenizer::ReadEndTag() {
 }
 
 StatusOr<bool> Tokenizer::ReadText() {
-  text_.clear();
+  text_ = std::string_view();
   bool saw_any = false;
+  bool in_scratch = false;  // accumulated segments live in text_scratch_
+
+  // First entity-free segment: served as a slice of the input. A second
+  // segment (CDATA splice) or an entity spills into the scratch buffer.
+  const auto add_segment = [&](std::string_view seg,
+                               bool needs_unescape) -> Status {
+    if (!saw_any && !needs_unescape) {
+      text_ = seg;
+      saw_any = true;
+      return Status::OK();
+    }
+    if (!in_scratch) {
+      text_scratch_.clear();
+      if (!text_.empty()) text_scratch_.append(text_.data(), text_.size());
+      in_scratch = true;
+    }
+    saw_any = true;
+    if (needs_unescape) return AppendUnescaped(seg, &text_scratch_);
+    text_scratch_.append(seg.data(), seg.size());
+    return Status::OK();
+  };
+
   while (pos_ < input_.size()) {
     if (input_[pos_] == '<') {
       if (input_.compare(pos_, 9, "<![CDATA[") == 0) {
@@ -183,8 +219,8 @@ StatusOr<bool> Tokenizer::ReadText() {
         if (end == std::string_view::npos) {
           return Error("unterminated CDATA section");
         }
-        text_.append(input_.data() + pos_ + 9, end - pos_ - 9);
-        saw_any = true;
+        STANDOFF_RETURN_IF_ERROR(
+            add_segment(input_.substr(pos_ + 9, end - pos_ - 9), false));
         pos_ = end + 3;
         continue;
       }
@@ -197,11 +233,12 @@ StatusOr<bool> Tokenizer::ReadText() {
     }
     size_t next = input_.find('<', pos_);
     if (next == std::string_view::npos) next = input_.size();
+    const std::string_view raw = input_.substr(pos_, next - pos_);
     STANDOFF_RETURN_IF_ERROR(
-        AppendUnescaped(input_.substr(pos_, next - pos_), &text_));
-    saw_any = true;
+        add_segment(raw, raw.find('&') != std::string_view::npos));
     pos_ = next;
   }
+  if (in_scratch) text_ = text_scratch_;
   return saw_any;
 }
 

@@ -284,7 +284,7 @@ Status Engine::ApplyNavigationStep(const Step& step, Lifted* rows) {
         } else {
           // Name-index range scan: the loop-lifted descendant step the
           // staircase comparison runs against.
-          const std::vector<storage::Pre>& pres =
+          const storage::Span<storage::Pre> pres =
               store_->document(node.doc).element_index.Lookup(name);
           auto it = std::lower_bound(pres.begin(), pres.end(), lo);
           for (; it != pres.end() && *it <= hi; ++it) {
@@ -353,7 +353,7 @@ StatusOr<const Engine::CandidateSet*> Engine::GetCandidates(
   if (it != candidate_cache_.end()) return &it->second;
   StatusOr<const so::RegionIndex*> index = GetIndex(doc);
   if (!index.ok()) return index.status();
-  const std::vector<storage::Pre>& name_pres =
+  const storage::Span<storage::Pre> name_pres =
       store_->document(doc).element_index.Lookup(
           store_->names().Lookup(step.name));
   CandidateSet set;
@@ -393,11 +393,10 @@ StatusOr<so::ChainLayer> Engine::GetChainLayer(storage::DocId doc,
       step.any_name ? storage::kInvalidName : store_->names().Lookup(step.name);
   if (!step.any_name && name == storage::kInvalidName) {
     // Unknown name: an empty layer (no candidates, empty universe).
-    static const std::vector<storage::Pre> kEmpty;
-    layer.ids = &kEmpty;
+    layer.ids_set = true;
     return layer;
   }
-  const std::vector<storage::Pre>& annotated_ids = (*index)->annotated_ids();
+  const storage::Span<storage::Pre> annotated_ids = (*index)->annotated_ids();
   const size_t annotated = annotated_ids.size();
   // Pushdown decision: a name whose ANNOTATED elements cover most of
   // the index buys nothing from an intersected copy — join the whole
@@ -408,7 +407,7 @@ StatusOr<so::ChainLayer> Engine::GetChainLayer(storage::DocId doc,
   // no regions).
   size_t candidate_count = annotated;
   if (!step.any_name) {
-    const std::vector<storage::Pre>& name_pres =
+    const storage::Span<storage::Pre> name_pres =
         store_->document(doc).element_index.Lookup(name);
     if (name_pres.size() * 2 < annotated) {
       candidate_count = name_pres.size();  // already provably sparse
@@ -429,7 +428,8 @@ StatusOr<so::ChainLayer> Engine::GetChainLayer(storage::DocId doc,
   }
   if (step.any_name || candidate_count * 2 >= annotated) {
     layer.columns = (*index)->columns();
-    layer.ids = &(*index)->annotated_ids();
+    layer.ids = (*index)->annotated_ids();
+    layer.ids_set = true;
     layer.stats = *GetIndexStats(doc, **index);
     if (!step.any_name) {
       const storage::NodeTable* table = &store_->table(doc);
@@ -451,7 +451,8 @@ StatusOr<so::ChainLayer> Engine::GetChainLayer(storage::DocId doc,
   StatusOr<const CandidateSet*> candidates = GetCandidates(doc, ast_step);
   if (!candidates.ok()) return candidates.status();
   layer.columns = (*candidates)->entries.View();
-  layer.ids = &(*candidates)->ids;
+  layer.ids = (*candidates)->ids;
+  layer.ids_set = true;
   layer.stats = (*candidates)->stats;
   return layer;
 }
@@ -479,7 +480,8 @@ StatusOr<ChainResult> Engine::EvaluateChain(const ChainQuery& query) {
   // The context rows are exactly the regions of the context candidate
   // set, so its cached stats are the context stats — no recompute.
   if (query.context_any) {
-    result.context_ids = (*index)->annotated_ids();
+    const storage::Span<storage::Pre> ids = (*index)->annotated_ids();
+    result.context_ids.assign(ids.begin(), ids.end());
     spec.context_stats = *GetIndexStats(query.doc, **index);
   } else {
     Step ast_step;
@@ -757,16 +759,16 @@ Status Engine::StandoffUdfPerIteration(
   const so::ResolvedConfig config =
       so::Resolve(standoff_config_, store_->names());
   const storage::NameId name = store_->names().Lookup(step.name);
-  const std::vector<storage::Pre>* candidate_pres = nullptr;
+  storage::Span<storage::Pre> candidate_pres;
   std::vector<storage::Pre> all_elements;
   if (with_candidates && !step.any_name) {
-    candidate_pres = &store_->document(doc).element_index.Lookup(name);
+    candidate_pres = store_->document(doc).element_index.Lookup(name);
   } else {
     all_elements.reserve(table.size());
     for (storage::Pre pre = 0; pre < table.size(); ++pre) {
       if (table.IsElement(pre)) all_elements.push_back(pre);
     }
-    candidate_pres = &all_elements;
+    candidate_pres = all_elements;
   }
 
   // A lone iteration splits the quadratic candidate scan instead of
@@ -781,8 +783,8 @@ Status Engine::StandoffUdfPerIteration(
         // region from its attribute strings on each invocation —
         // nothing is indexed or reused across iterations.
         std::vector<so::AreaAnnotation> candidates;
-        candidates.reserve(candidate_pres->size());
-        for (storage::Pre pre : *candidate_pres) {
+        candidates.reserve(candidate_pres.size());
+        for (storage::Pre pre : candidate_pres) {
           if (config.start_attr == storage::kInvalidName ||
               config.end_attr == storage::kInvalidName) {
             break;

@@ -23,7 +23,7 @@ inline std::vector<standoff::so::IterMatch> OracleStandoffJoin(
     standoff::so::StandoffOp op,
     const std::vector<standoff::so::IterRegion>& context,
     const std::vector<standoff::so::RegionEntry>& candidates,
-    const std::vector<standoff::storage::Pre>& universe,
+    standoff::storage::Span<standoff::storage::Pre> universe,
     uint32_t iter_count) {
   using standoff::so::StandoffOp;
   const bool narrow = op == StandoffOp::kSelectNarrow ||
@@ -49,7 +49,7 @@ inline std::vector<standoff::so::IterMatch> OracleStandoffJoin(
     }
     return out;
   }
-  std::vector<standoff::storage::Pre> ids(universe);
+  std::vector<standoff::storage::Pre> ids(universe.begin(), universe.end());
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   for (uint32_t iter = 0; iter < iter_count; ++iter) {

@@ -75,7 +75,7 @@ static void TestElementIndex() {
   storage::DocumentStore store;
   CHECK_OK(store.AddDocumentText("fig4.xml", kFig4));
   const storage::ElementIndex& index = store.document(0).element_index;
-  const std::vector<Pre>& cs = index.Lookup(store.names().Lookup("c"));
+  const storage::Span<Pre> cs = index.Lookup(store.names().Lookup("c"));
   CHECK_EQ(cs.size(), 4u);
   CHECK_EQ(cs[0], 2u);
   CHECK_EQ(cs[3], 5u);

@@ -37,8 +37,9 @@ struct Fixture {
         store.table(0), so::Resolve(so::StandoffConfig{}, store.names()));
     CHECK_OK(built);
     index = built.MoveValueUnsafe();
-    shot_pres =
+    const storage::Span<Pre> shots =
         store.document(0).element_index.Lookup(store.names().Lookup("shot"));
+    shot_pres.assign(shots.begin(), shots.end());
     shot_entries = index.Intersect(shot_pres);
     u2_context = {{7, {{0, 31}}}};  // music[artist=U2] is pre 7
     for (const so::RegionEntry& e : shot_entries) {

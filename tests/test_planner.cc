@@ -28,7 +28,8 @@ namespace {
 ChainLayer LayerOf(const so::RegionIndex& index) {
   ChainLayer layer;
   layer.columns = index.columns();
-  layer.ids = &index.annotated_ids();
+  layer.ids = index.annotated_ids();
+  layer.ids_set = true;
   layer.index = &index;
   layer.stats =
       RegionStats::Compute(layer.columns.start, layer.columns.end,
@@ -39,7 +40,7 @@ ChainLayer LayerOf(const so::RegionIndex& index) {
 /// Context rows from an index: one loop iteration per annotated id in
 /// id (document) order, carrying every region of that id.
 void ContextOf(const so::RegionIndex& index, ChainSpec* spec) {
-  const std::vector<Pre>& ids = index.annotated_ids();
+  const storage::Span<Pre> ids = index.annotated_ids();
   spec->iter_count = static_cast<uint32_t>(ids.size());
   for (uint32_t i = 0; i < spec->iter_count; ++i) {
     index.ForEachRegionOf(ids[i], [&](int64_t start, int64_t end) {

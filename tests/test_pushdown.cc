@@ -30,7 +30,7 @@ static void TestPushdownEquivalence() {
   CHECK_OK(index);
   CHECK_EQ((*index)->size(), 500u);
   const storage::NameId needle = store.names().Lookup("needle");
-  const std::vector<Pre>& needle_pres =
+  const storage::Span<Pre> needle_pres =
       store.document(0).element_index.Lookup(needle);
   CHECK_EQ(needle_pres.size(), 50u);
 

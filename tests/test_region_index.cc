@@ -34,7 +34,7 @@ static void TestFromEntriesSorts() {
   CHECK(index.entries()[2] == (RegionEntry{10, 20, 2}));
   CHECK(index.entries()[3] == (RegionEntry{50, 60, 4}));
   // annotated_ids sorted by id, not by start.
-  const std::vector<Pre>& ids = index.annotated_ids();
+  const storage::Span<Pre> ids = index.annotated_ids();
   CHECK_EQ(ids.size(), 4u);
   CHECK_EQ(ids[0], 2u);
   CHECK_EQ(ids[3], 7u);
