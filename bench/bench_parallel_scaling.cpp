@@ -11,9 +11,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "standoff/parallel_join.h"
 
@@ -137,4 +139,18 @@ BENCHMARK(BM_ParallelSelectWide)
     ->Args({10000, 1000, 4})
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// Logs the detected and selected instruction-set level (also embedded
+// in the JSON context) so the scaling curves state which merge kernels
+// every cell actually ran.
+int main(int argc, char** argv) {
+  const char* detected = simd::LevelName(simd::Detect());
+  const char* selected = simd::LevelName(simd::Resolve(simd::Level::kAuto));
+  std::fprintf(stderr, "simd: detected=%s selected=%s\n", detected, selected);
+  benchmark::AddCustomContext("simd_detected", detected);
+  benchmark::AddCustomContext("simd_selected", selected);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,11 +5,17 @@
 //
 // Grid: {uniform, clustered, zipf} candidate distributions ×
 // {sparse 1%, medium 20%, dense 100%} context coverage ×
-// {gallop, linear}. Counters record how much of the index each
-// configuration actually probed.
+// {gallop, linear} × {auto, forced-scalar} SIMD dispatch. Counters
+// record how much of the index each configuration actually probed and
+// which dispatch level actually ran (simd_level); the dense rows exist
+// in auto/scalar pairs so check_regression.py can gate the vector
+// kernels' speedup as a within-run ratio, immune to host noise.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "common/simd.h"
 #include "skew_workloads.h"
 #include "standoff/merge_join.h"
 
@@ -21,6 +27,8 @@ void RunSkewJoin(benchmark::State& state, so::StandoffOp op) {
   const auto shape = static_cast<benchdata::CandidateShape>(state.range(0));
   const int64_t permille = state.range(1);
   const bool gallop = state.range(2) == 1;
+  const simd::Level requested =
+      state.range(3) == 1 ? simd::Level::kScalar : simd::Level::kAuto;
   const size_t candidates = 200000;
   const uint32_t iters = 64;
   benchdata::SkewWorkload w =
@@ -33,6 +41,7 @@ void RunSkewJoin(benchmark::State& state, so::StandoffOp op) {
   for (auto _ : state) {
     so::JoinOptions options;
     options.gallop = gallop;
+    options.simd = requested;
     options.arena = &arena;
     options.stats = &stats;
     auto st = so::LoopLiftedStandoffJoinColumns(
@@ -49,6 +58,8 @@ void RunSkewJoin(benchmark::State& state, so::StandoffOp op) {
   state.counters["cand_rows_per_s"] = benchmark::Counter(
       static_cast<double>(candidates) * state.iterations(),
       benchmark::Counter::kIsRate);
+  state.counters["simd_level"] =
+      static_cast<double>(static_cast<int>(simd::Resolve(requested)));
 }
 
 void BM_SkewSelectNarrow(benchmark::State& state) {
@@ -63,8 +74,16 @@ void SkewGrid(benchmark::internal::Benchmark* b) {
   for (int shape = 0; shape <= 2; ++shape) {
     for (int64_t permille : {10, 200, 1000}) {
       for (int gallop : {1, 0}) {
-        b->Args({shape, permille, gallop});
+        b->Args({shape, permille, gallop, 0});
       }
+    }
+  }
+  // Forced-scalar companions for the dense tilings: the single-active
+  // block shape where the vector kernels matter. check_regression.py
+  // gates auto/scalar cpu_time ratios over these pairs.
+  for (int shape : {0, 1}) {
+    for (int gallop : {1, 0}) {
+      b->Args({shape, 1000, gallop, 1});
     }
   }
   b->Unit(benchmark::kMicrosecond);
@@ -72,15 +91,31 @@ void SkewGrid(benchmark::internal::Benchmark* b) {
 
 }  // namespace
 
-// {shape: 0=uniform 1=clustered 2=zipf, coverage permille, gallop}
+// {shape: 0=uniform 1=clustered 2=zipf, coverage permille, gallop,
+//  simd: 0=auto 1=forced-scalar}
 BENCHMARK(BM_SkewSelectNarrow)->Apply(SkewGrid);
 BENCHMARK(BM_SkewSelectWide)
-    ->Args({0, 10, 1})
-    ->Args({0, 10, 0})
-    ->Args({1, 10, 1})
-    ->Args({1, 10, 0})
-    ->Args({0, 1000, 1})
-    ->Args({0, 1000, 0})
+    ->Args({0, 10, 1, 0})
+    ->Args({0, 10, 0, 0})
+    ->Args({1, 10, 1, 0})
+    ->Args({1, 10, 0, 0})
+    ->Args({0, 1000, 1, 0})
+    ->Args({0, 1000, 0, 0})
+    ->Args({0, 1000, 1, 1})
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// Logs the detected and selected instruction-set level (also embedded
+// in the JSON context) so every recorded run states which kernels it
+// actually measured.
+int main(int argc, char** argv) {
+  const char* detected = simd::LevelName(simd::Detect());
+  const char* selected = simd::LevelName(simd::Resolve(simd::Level::kAuto));
+  std::fprintf(stderr, "simd: detected=%s selected=%s\n", detected, selected);
+  benchmark::AddCustomContext("simd_detected", detected);
+  benchmark::AddCustomContext("simd_selected", selected);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

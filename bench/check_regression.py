@@ -6,6 +6,15 @@ checked-in bench/bench_baseline.json. The threshold is deliberately
 generous (default 2.5x): hardware and CI noise pass, order-of-magnitude
 regressions fail. Only slowdowns fail — improvements are free.
 
+The baseline may also carry a "ratios" section: within-run cpu_time
+ratio gates (fast row / slow row <= max_ratio) between benchmark pairs
+of the SAME run. These are immune to host-speed differences, so they
+hold tight bounds absolute baselines cannot — e.g. the SIMD merge
+kernels must beat their forced-scalar companion rows by the recorded
+factor. A ratio gate is skipped (not failed) when the fast row's
+simd_level counter is 0: the host resolved auto-dispatch to scalar, so
+both rows ran identical code.
+
 Exit codes: 0 ok, 1 regression / missing metric / unit mismatch.
 """
 import json
@@ -44,13 +53,34 @@ def main() -> int:
                   f"({ratio:.2f}x, limit {threshold}x) {verdict}")
             if ratio > threshold:
                 failures.append(f"{label}: {ratio:.2f}x over baseline")
+    for binary, pairs in baseline.get("ratios", {}).items():
+        runs = {b["name"]: b
+                for b in results.get(binary, {}).get("benchmarks", [])}
+        for pair in pairs:
+            fast = runs.get(pair["fast"])
+            slow = runs.get(pair["slow"])
+            label = f"{binary}:{pair['fast']} / {pair['slow']}"
+            if fast is None or slow is None:
+                failures.append(f"{label}: missing from current results")
+                continue
+            if fast.get("simd_level", 1.0) == 0.0:
+                print(f"{label}: skipped (auto dispatch resolved to scalar)")
+                continue
+            checked += 1
+            ratio = fast["cpu_time"] / slow["cpu_time"]
+            limit = float(pair["max_ratio"])
+            verdict = "REGRESSED" if ratio > limit else "ok"
+            print(f"{label}: cpu_time ratio {ratio:.2f} "
+                  f"(limit {limit}) {verdict}")
+            if ratio > limit:
+                failures.append(f"{label}: ratio {ratio:.2f} over {limit}")
     if failures:
         print(f"\n{len(failures)} bench-regression failure(s):",
               file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nall {checked} gated metrics within {threshold}x of baseline")
+    print(f"\nall {checked} gated metrics within bounds")
     return 0
 
 

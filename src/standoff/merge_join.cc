@@ -4,6 +4,8 @@
 #include <climits>
 #include <cstdio>
 
+#include "standoff/simd_kernels.h"
+
 namespace standoff {
 namespace so {
 
@@ -66,15 +68,23 @@ std::string CtxLabel(uint32_t iter, int64_t start, int64_t end) {
 
 /// First index in [lo, hi) whose start is >= v: an exponential probe
 /// brackets the run, then a binary search pins it, so the cost is
-/// logarithmic in the DISTANCE skipped, not in the array size.
-size_t GallopLowerBound(const int64_t* a, size_t lo, size_t hi, int64_t v) {
+/// logarithmic in the DISTANCE skipped, not in the array size. The
+/// binary tail runs through the dispatch table's branch-free
+/// count-less kernel (identical result to std::lower_bound).
+size_t GallopLowerBound(const simdk::KernelOps& ops, const int64_t* a,
+                        size_t lo, size_t hi, int64_t v) {
   size_t bound = 1;
   while (lo + bound < hi && a[lo + bound] < v) bound <<= 1;
   const size_t search_lo = lo + (bound >> 1);
   const size_t search_hi = std::min(hi, lo + bound + 1);
-  return static_cast<size_t>(
-      std::lower_bound(a + search_lo, a + search_hi, v) - a);
+  return simdk::LowerBoundI64(ops, a, search_lo, search_hi, v);
 }
+
+/// Tile length for the single-context block fast paths: 4096 rows keep
+/// the three candidate columns (96 KiB) plus the emitted keys inside a
+/// typical L2 slice, partitioning the dense merge into cache-resident
+/// ranges while the next tile is prefetched.
+constexpr size_t kBlockTileRows = 4096;
 
 /// Active set as a vector sorted ascending by region end, with a lazy
 /// head offset so retiring expired items is O(1) amortized. Insertion
@@ -123,6 +133,12 @@ class SortedEndList {
   size_t size() const { return v_.size() - head_; }
   bool empty() const { return head_ == v_.size(); }
 
+  /// The sole live item when exactly one is active, else null — the
+  /// trigger for the blockwise fast paths.
+  const ActiveItem* Single() const {
+    return v_.size() - head_ == 1 ? &v_[head_] : nullptr;
+  }
+
  private:
   std::vector<ActiveItem>& v_;
   size_t head_ = 0;
@@ -164,6 +180,10 @@ class EndHeap {
 
   size_t size() const { return heap_.size(); }
   bool empty() const { return heap_.empty(); }
+
+  const ActiveItem* Single() const {
+    return heap_.size() == 1 ? &heap_[0] : nullptr;
+  }
 
  private:
   static bool ByEndGreater(const ActiveItem& a, const ActiveItem& b) {
@@ -229,6 +249,31 @@ struct PassState {
     last_key = key;
     keys.push_back(key);
   }
+
+  /// Replays Emit()'s order/duplicate tracking over keys[base, size())
+  /// after a blockwise kernel appended them in bulk, so the
+  /// canonicalization decision cannot diverge from the per-row path.
+  void NoteBulkAppended(size_t base) {
+    const size_t n = keys.size();
+    if (base >= n) return;
+    uint64_t prev = last_key;
+    size_t t = base;
+    if (base == 0) {  // first key overall has no predecessor to compare
+      prev = keys[0];
+      t = 1;
+    }
+    bool unsorted = false;
+    bool dup = false;
+    for (; t < n; ++t) {
+      const uint64_t key = keys[t];
+      unsorted |= key < prev;
+      dup |= key == prev;
+      prev = key;
+    }
+    emitted_sorted &= !unsorted;
+    emitted_dup |= dup;
+    last_key = prev;
+  }
 };
 
 /// Narrow merge pass: context regions and candidates both stream in
@@ -237,9 +282,14 @@ struct PassState {
 /// `gallop`, runs of candidates with no active context are skipped by
 /// exponential + binary search over the start column, and context rows
 /// that end before every remaining candidate are never activated.
+/// `ops` supplies the dispatch-selected branch-free primitives (always
+/// valid; scalar level gets the scalar table). `blocks` enables the
+/// single-context blockwise fast path — off at scalar level (the
+/// per-row loop IS the scalar baseline) and under trace.
 template <typename CtxSet>
 void SelectNarrowPass(const std::vector<IterRegion>& ctx,
                       const RegionColumns& cand, bool gallop,
+                      const simdk::KernelOps& ops, bool blocks,
                       JoinArena* arena, PassState* state, TraceSink* trace) {
   CtxSet active(&arena->active_a);
   size_t i = 0;
@@ -289,11 +339,59 @@ void SelectNarrowPass(const std::vector<IterRegion>& ctx,
         state->candidates_skipped += cand.size - j;
         break;
       }
-      const size_t next = GallopLowerBound(cand.start, j, cand.size,
+      const size_t next = GallopLowerBound(ops, cand.start, j, cand.size,
                                            ctx[i].start);
       state->candidates_skipped += next - j;
+      if (next < cand.size) {
+        // The merge cursor lands here next: pull the candidate run's
+        // first lines in while the loop re-enters.
+        STANDOFF_PREFETCH(cand.start + next);
+        STANDOFF_PREFETCH(cand.end + next);
+        STANDOFF_PREFETCH(cand.id + next);
+      }
       j = next;
       continue;
+    }
+    if (blocks) {
+      if (const ActiveItem* c = active.Single()) {
+        // Single-context block: until the first candidate starting past
+        // c->end (retire boundary) or at/after the next context row's
+        // start (activation boundary), the active set provably stays
+        // {c}, and containment reduces to end[k] <= c->end. The run is
+        // processed in L2-sized tiles — blockwise compare, branch-free
+        // mask compaction straight into the packed keys — with the next
+        // tile prefetched; order/dup tracking is replayed afterwards,
+        // so the output stays byte-identical to the per-row path.
+        size_t hi = simdk::UpperBoundI64(ops, cand.start, j, cand.size,
+                                         c->end);
+        if (i < ctx.size()) {
+          hi = std::min(
+              hi, simdk::LowerBoundI64(ops, cand.start, j, hi, ctx[i].start));
+        }
+        if (hi > j) {
+          const uint64_t key_base = static_cast<uint64_t>(c->iter) << 32;
+          const int64_t bound = c->end;
+          for (size_t k = j; k < hi; k += kBlockTileRows) {
+            const size_t tile_end = std::min(hi, k + kBlockTileRows);
+            if (tile_end < hi) {
+              STANDOFF_PREFETCH(cand.start + tile_end);
+              STANDOFF_PREFETCH(cand.end + tile_end);
+              STANDOFF_PREFETCH(cand.id + tile_end);
+            }
+            const size_t base = state->keys.size();
+            state->keys.resize(base + (tile_end - k));
+            const size_t cnt =
+                ops.compact_le_i64(cand.end + k, cand.id + k, tile_end - k,
+                                   bound, key_base, state->keys.data() + base);
+            state->keys.resize(base + cnt);
+            state->NoteBulkAppended(base);
+            state->matches_emitted += cnt;
+          }
+          state->candidates_scanned += hi - j;
+          j = hi;
+          continue;
+        }
+      }
     }
     ++state->candidates_scanned;
     if (trace) {
@@ -327,8 +425,9 @@ void SelectNarrowPass(const std::vector<IterRegion>& ctx,
 /// exhausted with no context active.
 template <typename CtxSet, typename CandSet>
 void SelectWidePass(const std::vector<IterRegion>& ctx,
-                    const RegionColumns& cand, bool gallop, JoinArena* arena,
-                    PassState* state, TraceSink* trace) {
+                    const RegionColumns& cand, bool gallop,
+                    const simdk::KernelOps& ops, bool blocks,
+                    JoinArena* arena, PassState* state, TraceSink* trace) {
   CtxSet active_ctx(&arena->active_a);
   CandSet active_cand(&arena->active_b);
   size_t i = 0, j = 0;
@@ -391,6 +490,44 @@ void SelectWidePass(const std::vector<IterRegion>& ctx,
         ++state->candidates_skipped;
         ++j;
         continue;
+      }
+      if (blocks && gallop && i >= ctx.size()) {
+        if (const ActiveItem* c = active_ctx.Single()) {
+          // Exhausted-context overlap tail with exactly one context
+          // active: every candidate starting at or before c->end
+          // overlaps it (its end is >= its start >= c->start), and the
+          // first one past c->end retires c into the skip-everything
+          // exit above — so the whole run emits one key per candidate,
+          // blockwise. The active_cand inserts are skipped: with no
+          // context rows left, nothing can ever read them again (only
+          // the context branch probes or retires active_cand). The peak
+          // counter replays what the per-row inserts would have
+          // recorded.
+          const size_t hi =
+              simdk::UpperBoundI64(ops, cand.start, j, cand.size, c->end);
+          if (hi > j) {
+            const uint64_t key_base = static_cast<uint64_t>(c->iter) << 32;
+            for (size_t k = j; k < hi; k += kBlockTileRows) {
+              const size_t tile_end = std::min(hi, k + kBlockTileRows);
+              if (tile_end < hi) {
+                STANDOFF_PREFETCH(cand.start + tile_end);
+                STANDOFF_PREFETCH(cand.id + tile_end);
+              }
+              const size_t base = state->keys.size();
+              state->keys.resize(base + (tile_end - k));
+              ops.emit_keys(cand.id + k, tile_end - k, key_base,
+                            state->keys.data() + base);
+              state->NoteBulkAppended(base);
+            }
+            state->matches_emitted += hi - j;
+            state->candidates_scanned += hi - j;
+            state->active_peak =
+                std::max(state->active_peak,
+                         1 + active_cand.size() + (hi - j));
+            j = hi;
+            continue;
+          }
+        }
       }
       ++state->candidates_scanned;
       if (trace) {
@@ -664,21 +801,29 @@ Status LoopLiftedStandoffJoinColumns(
   // steps would skip events — so galloping is forced off under a sink.
   const bool gallop = options.gallop && options.trace == nullptr;
   const bool narrow = IsNarrow(op);
+  // Resolve the dispatch level once per call; parallel cells copy the
+  // resolved JoinOptions, so every shard of one join runs the same
+  // kernels. Scalar level keeps the per-row loops (the baseline), any
+  // vector level additionally enables the blockwise fast paths.
+  const simd::Level level = simd::Resolve(options.simd);
+  const simdk::KernelOps& ops = simdk::Ops(level);
+  const bool blocks =
+      level != simd::Level::kScalar && options.trace == nullptr;
   if (options.active_list == ActiveListKind::kSortedList) {
     if (narrow) {
-      SelectNarrowPass<SortedEndList>(ctx, cand, gallop, arena, &state,
-                                      options.trace);
+      SelectNarrowPass<SortedEndList>(ctx, cand, gallop, ops, blocks, arena,
+                                      &state, options.trace);
     } else {
-      SelectWidePass<SortedEndList, SortedEndList>(ctx, cand, gallop, arena,
-                                                   &state, options.trace);
+      SelectWidePass<SortedEndList, SortedEndList>(
+          ctx, cand, gallop, ops, blocks, arena, &state, options.trace);
     }
   } else {
     if (narrow) {
-      SelectNarrowPass<EndHeap>(ctx, cand, gallop, arena, &state,
+      SelectNarrowPass<EndHeap>(ctx, cand, gallop, ops, blocks, arena, &state,
                                 options.trace);
     } else {
-      SelectWidePass<EndHeap, EndHeap>(ctx, cand, gallop, arena, &state,
-                                       options.trace);
+      SelectWidePass<EndHeap, EndHeap>(ctx, cand, gallop, ops, blocks, arena,
+                                       &state, options.trace);
     }
   }
   if (options.stats) {

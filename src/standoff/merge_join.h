@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "standoff/region_index.h"
 
@@ -171,6 +172,13 @@ struct JoinOptions {
   /// candidate. Disabled automatically under `trace` (the trace contract
   /// is the full per-step event stream).
   bool gallop = true;
+  /// Dispatch level for the branch-free/SIMD merge primitives
+  /// (simd_kernels.h): kAuto resolves through the STANDOFF_SIMD env
+  /// override, then CPUID; a forced level the CPU cannot run is clamped
+  /// down. kScalar keeps the original per-row loops — the baseline the
+  /// benchmarks compare against. Every level produces byte-identical
+  /// output.
+  simd::Level simd = simd::Level::kAuto;
   /// Reusable scratch; null means per-call local buffers (allocates).
   JoinArena* arena = nullptr;
   TraceSink* trace = nullptr;    // non-null: emit per-step events (slow)

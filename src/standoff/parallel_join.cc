@@ -236,6 +236,9 @@ Status ParallelLoopLiftedStandoffJoinColumns(
         cell_options.trace = nullptr;
         cell_options.arena = arena.get();
         cell_options.stats = want_stats ? &cell_stats[cell] : nullptr;
+        // Pin the resolved dispatch level (idempotent under Resolve) so
+        // every cell of this join provably runs the same kernel tier.
+        cell_options.simd = simd::Resolve(options.join.simd);
         return LoopLiftedStandoffJoinColumns(
             select_op, blocks[b].context, ann_iters,
             candidates.Slice(lo, hi), kNoUniverse, iter_count,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "standoff/simd_kernels.h"
 #include "storage/columns.h"
 
 namespace standoff {
@@ -279,10 +280,16 @@ RegionColumnsData RegionIndex::IntersectColumns(
     }
     std::sort(selected.begin(), selected.end());
   } else {
+    // Per-entry membership probe over the sorted id universe, finished
+    // by the dispatch-selected branch-free count-less tail (identical
+    // result to std::binary_search).
+    const simdk::KernelOps& ops =
+        simdk::Ops(simd::Resolve(simd::Level::kAuto));
     for (uint32_t row = 0; row < n; ++row) {
-      if (std::binary_search(ids.begin(), ids.end(), cols_.id()[row])) {
-        selected.push_back(row);
-      }
+      const storage::Pre id = cols_.id()[row];
+      const size_t pos =
+          simdk::LowerBoundU32(ops, ids.begin(), 0, ids.size(), id);
+      if (pos < ids.size() && ids[pos] == id) selected.push_back(row);
     }
   }
   RegionColumnsData result;

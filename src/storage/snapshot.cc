@@ -26,7 +26,11 @@ namespace {
 constexpr char kMagic[8] = {'S', 'O', 'S', 'N', 'A', 'P', '0', '1'};
 constexpr uint32_t kEndianMarker = 0x01020304u;
 constexpr size_t kHeaderSize = 64;
-constexpr size_t kSegmentAlign = 8;
+// Cache-line segment alignment: a borrowed column's first row sits on a
+// 64-byte boundary in the mapping (mmap bases are page-aligned), so the
+// SIMD merge kernels see aligned full-width rows from offset zero.
+// Changing this is a format change — bump kSnapshotVersion with it.
+constexpr size_t kSegmentAlign = 64;
 
 struct Header {
   char magic[8];
@@ -159,7 +163,10 @@ class Reader {
         ref.count > (toc_offset_ - ref.offset) / sizeof(T)) {
       return Status::Invalid("snapshot segment out of bounds");
     }
-    if (ref.offset % alignof(T) != 0) {
+    // Every segment the writer emits is kSegmentAlign-aligned (a
+    // superset of any element alignment); anything less in a version-2
+    // file is corruption.
+    if (ref.offset % kSegmentAlign != 0) {
       return Status::Invalid("snapshot segment misaligned");
     }
     *data = reinterpret_cast<const T*>(base_ + ref.offset);

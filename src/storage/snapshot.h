@@ -21,7 +21,7 @@
 //
 // File layout (DESIGN.md §11 has the full specification):
 //
-//   [header 64B] [8-byte-aligned column segments ...] [TOC]
+//   [header 64B] [64-byte-aligned column segments ...] [TOC]
 //
 // The header carries magic, format version, an endianness marker, the
 // file size, the TOC location, and an FNV-1a 64 checksum over
@@ -45,7 +45,11 @@
 namespace standoff {
 namespace storage {
 
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Version 2: column segments are 64-byte aligned (was 8) so borrowed
+/// columns sit on cache-line/vector-register boundaries for the SIMD
+/// merge kernels. Older files are rejected with a version error, per
+/// the DESIGN §11 rule that any layout change bumps the version.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 struct SnapshotWriteOptions {
   /// One RegionIndex per (document, config) is built — reusing the

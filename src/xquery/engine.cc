@@ -341,6 +341,14 @@ so::JoinArenaPool* Engine::Arenas() {
   return options_.exec.reuse_scratch ? &arena_pool_ : nullptr;
 }
 
+so::JoinOptions Engine::EffectiveJoin() const {
+  so::JoinOptions join = options_.join;
+  if (options_.exec.simd != simd::Level::kAuto) {
+    join.simd = options_.exec.simd;
+  }
+  return join;
+}
+
 StatusOr<const so::RegionIndex*> Engine::GetIndex(storage::DocId doc) {
   return index_cache_.Get(*store_, doc, standoff_config_);
 }
@@ -519,7 +527,7 @@ StatusOr<ChainResult> Engine::EvaluateChain(const ChainQuery& query) {
   exec.parallel.iter_blocks = options_.exec.num_threads;
   exec.parallel.candidate_shards = options_.exec.shard_count;
   exec.parallel.arenas = Arenas();
-  exec.parallel.join = options_.join;
+  exec.parallel.join = EffectiveJoin();
   const std::function<Status()> checkpoint = [this] {
     return CheckDeadline();
   };
@@ -701,7 +709,7 @@ Status Engine::StandoffLoopLifted(so::StandoffOp op, storage::DocId doc,
   parallel.iter_blocks = options_.exec.num_threads;
   parallel.candidate_shards = options_.exec.shard_count;
   parallel.arenas = Arenas();
-  parallel.join = options_.join;
+  parallel.join = EffectiveJoin();
   if (step.any_name) {
     return so::ParallelLoopLiftedStandoffJoinColumns(
         op, context, ann_iters, (*index)->columns(),
@@ -733,7 +741,7 @@ Status Engine::StandoffBasicPerIteration(
           uint32_t fanout, std::vector<so::IterMatch>* out) -> Status {
         STANDOFF_RETURN_IF_ERROR(CheckDeadline());
         std::vector<storage::Pre> pres;
-        so::JoinOptions join = options_.join;
+        so::JoinOptions join = EffectiveJoin();
         join.trace = nullptr;  // per-iteration calls have no trace contract
         join.stats = nullptr;
         join.arena = nullptr;  // groups may run concurrently: pool arenas only

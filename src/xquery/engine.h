@@ -64,6 +64,12 @@ struct ExecOptions {
   /// allocation-free steady state). Off = every join call uses local
   /// buffers; only useful for memory diagnostics.
   bool reuse_scratch = true;
+  /// Kernel dispatch level for the merge primitives. kAuto defers to
+  /// EngineOptions::join.simd (itself resolved via the STANDOFF_SIMD
+  /// env override, then CPUID); any other value overrides it for every
+  /// join this engine runs — the testing/bench knob the differential
+  /// sweeps use. Output is byte-identical at every level.
+  simd::Level simd = simd::Level::kAuto;
 };
 
 struct EngineOptions {
@@ -198,6 +204,10 @@ class Engine {
   /// serial joins and every parallel (block, shard) cell borrow from
   /// here, so a warmed engine runs its merge passes allocation-free.
   so::JoinArenaPool* Arenas();
+
+  /// EngineOptions::join with the ExecOptions::simd override applied —
+  /// the one place the two dispatch knobs merge.
+  so::JoinOptions EffectiveJoin() const;
 
   const storage::DocumentStore* store_;
   StandoffMode mode_ = StandoffMode::kLoopLifted;

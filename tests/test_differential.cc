@@ -28,6 +28,20 @@ namespace {
 constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
 constexpr uint32_t kShardCounts[] = {1, 2, 7};
 
+/// Every dispatch level this CPU can execute, scalar first. Forced
+/// levels above the CPU's capability would silently clamp down and
+/// re-test a lower tier, so they are excluded up front.
+std::vector<simd::Level> DispatchLevels() {
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  if (simd::Supported(simd::Level::kSSE42)) {
+    levels.push_back(simd::Level::kSSE42);
+  }
+  if (simd::Supported(simd::Level::kAVX2)) {
+    levels.push_back(simd::Level::kAVX2);
+  }
+  return levels;
+}
+
 struct Workload {
   so::RegionIndex index;
   std::vector<so::AreaAnnotation> candidate_annotations;
@@ -123,6 +137,7 @@ static void TestDifferential() {
       so::StandoffOp::kRejectNarrow, so::StandoffOp::kRejectWide};
   std::map<uint32_t, std::unique_ptr<ThreadPool>> pools;
   so::JoinArenaPool arena_pool;  // shared across every parallel config
+  const std::vector<simd::Level> levels = DispatchLevels();
   int comparisons = 0;
   for (uint64_t seed = 1; seed <= 30; ++seed) {
     const Workload w = MakeWorkload(seed);
@@ -132,22 +147,26 @@ static void TestDifferential() {
           w.iter_count);
 
       // Serial loop-lifted kernel: both active structures, with and
-      // without skip-based (galloping) merging, sharing one arena so
-      // buffer reuse is exercised across differing workloads too.
+      // without skip-based (galloping) merging, across every supported
+      // SIMD dispatch level, sharing one arena so buffer reuse is
+      // exercised across differing workloads too.
       so::JoinArena arena;
       for (so::ActiveListKind kind :
            {so::ActiveListKind::kSortedList, so::ActiveListKind::kEndHeap}) {
         for (bool gallop : {true, false}) {
-          so::JoinOptions join;
-          join.active_list = kind;
-          join.gallop = gallop;
-          join.arena = &arena;
-          std::vector<IterMatch> lifted;
-          CHECK_OK(so::LoopLiftedStandoffJoin(
-              op, w.context, w.ann_iters, w.index.entries(), w.index,
-              w.index.annotated_ids(), w.iter_count, &lifted, join));
-          CHECK(lifted == oracle);
-          ++comparisons;
+          for (simd::Level level : levels) {
+            so::JoinOptions join;
+            join.active_list = kind;
+            join.gallop = gallop;
+            join.simd = level;
+            join.arena = &arena;
+            std::vector<IterMatch> lifted;
+            CHECK_OK(so::LoopLiftedStandoffJoin(
+                op, w.context, w.ann_iters, w.index.entries(), w.index,
+                w.index.annotated_ids(), w.iter_count, &lifted, join));
+            CHECK(lifted == oracle);
+            ++comparisons;
+          }
         }
       }
 
@@ -165,6 +184,9 @@ static void TestDifferential() {
           if (threads == 4 && shards == 2) {
             options.join.gallop = false;  // lock the non-skipping path too
           }
+          // Rotate the forced dispatch level through the grid so every
+          // supported tier runs under parallel decomposition too.
+          options.join.simd = levels[(threads + shards) % levels.size()];
           std::vector<IterMatch> lifted;
           CHECK_OK(so::ParallelLoopLiftedStandoffJoin(
               op, w.context, w.ann_iters, w.index.entries(), w.index,
@@ -200,7 +222,8 @@ static void TestDifferential() {
       }
     }
   }
-  CHECK_EQ(comparisons, 30 * 4 * (4 + 12 + 3 + 2));
+  const int serial_combos = 4 * static_cast<int>(levels.size());
+  CHECK_EQ(comparisons, 30 * 4 * (serial_combos + 12 + 3 + 2));
 }
 
 int main() {

@@ -17,8 +17,32 @@ using storage::Pre;
 
 namespace {
 
-/// Joins with galloping on and off, checks both equal the oracle, and
-/// returns the galloping run's stats.
+/// Every dispatch level this CPU can execute, scalar first.
+std::vector<simd::Level> DispatchLevels() {
+  std::vector<simd::Level> levels{simd::Level::kScalar};
+  if (simd::Supported(simd::Level::kSSE42)) {
+    levels.push_back(simd::Level::kSSE42);
+  }
+  if (simd::Supported(simd::Level::kAVX2)) {
+    levels.push_back(simd::Level::kAVX2);
+  }
+  return levels;
+}
+
+void CheckStatsEqual(const so::JoinStats& a, const so::JoinStats& b) {
+  CHECK_EQ(a.active_peak, b.active_peak);
+  CHECK_EQ(a.contexts_skipped, b.contexts_skipped);
+  CHECK_EQ(a.contexts_dead, b.contexts_dead);
+  CHECK_EQ(a.candidates_scanned, b.candidates_scanned);
+  CHECK_EQ(a.candidates_skipped, b.candidates_skipped);
+  CHECK_EQ(a.matches_emitted, b.matches_emitted);
+}
+
+/// Joins with galloping on and off at EVERY supported dispatch level,
+/// checks all of them equal the oracle and that the counters are
+/// level-invariant (the blockwise fast paths must replay exactly what
+/// the per-row loops would have counted), and returns the galloping
+/// run's stats.
 so::JoinStats CheckBothPaths(so::StandoffOp op,
                              const std::vector<IterRegion>& context,
                              const std::vector<uint32_t>& ann_iters,
@@ -26,24 +50,37 @@ so::JoinStats CheckBothPaths(so::StandoffOp op,
                              uint32_t iter_count) {
   const std::vector<IterMatch> oracle = test::OracleStandoffJoin(
       op, context, index.entries(), index.annotated_ids(), iter_count);
-  so::JoinStats stats;
-  std::vector<IterMatch> with_gallop, without_gallop;
-  so::JoinOptions on;
-  on.gallop = true;
-  on.stats = &stats;
-  CHECK_OK(so::LoopLiftedStandoffJoin(op, context, ann_iters,
-                                      index.entries(), index,
-                                      index.annotated_ids(), iter_count,
-                                      &with_gallop, on));
-  so::JoinOptions off;
-  off.gallop = false;
-  CHECK_OK(so::LoopLiftedStandoffJoin(op, context, ann_iters,
-                                      index.entries(), index,
-                                      index.annotated_ids(), iter_count,
-                                      &without_gallop, off));
-  CHECK(with_gallop == oracle);
-  CHECK(without_gallop == oracle);
-  return stats;
+  const std::vector<simd::Level> levels = DispatchLevels();
+  so::JoinStats gallop_stats;
+  bool have_gallop_stats = false;
+  for (simd::Level level : levels) {
+    so::JoinStats stats;
+    std::vector<IterMatch> with_gallop, without_gallop;
+    so::JoinOptions on;
+    on.gallop = true;
+    on.simd = level;
+    on.stats = &stats;
+    CHECK_OK(so::LoopLiftedStandoffJoin(op, context, ann_iters,
+                                        index.entries(), index,
+                                        index.annotated_ids(), iter_count,
+                                        &with_gallop, on));
+    so::JoinOptions off;
+    off.gallop = false;
+    off.simd = level;
+    CHECK_OK(so::LoopLiftedStandoffJoin(op, context, ann_iters,
+                                        index.entries(), index,
+                                        index.annotated_ids(), iter_count,
+                                        &without_gallop, off));
+    CHECK(with_gallop == oracle);
+    CHECK(without_gallop == oracle);
+    if (have_gallop_stats) {
+      CheckStatsEqual(stats, gallop_stats);
+    } else {
+      gallop_stats = stats;
+      have_gallop_stats = true;
+    }
+  }
+  return gallop_stats;
 }
 
 }  // namespace
@@ -152,6 +189,66 @@ static void TestWideGallopBoundaries() {
   CheckBothPaths(so::StandoffOp::kRejectWide, context, {0, 1}, index, 2);
 }
 
+static void TestDispatchTailsAndSlices() {
+  // Lane-width edge cases for the vector kernels: slice lengths sweep
+  // 0..33, covering the empty input, every non-multiple-of-lane tail
+  // for the 2-, 4-, and 8-lane paths, and a >kSearchTail run (binary
+  // head + count-less tail); slice offsets 1..5 put the sub-view base
+  // pointers at every misalignment of the underlying columns. A
+  // context spanning the whole slice keeps exactly one region active,
+  // so the blockwise compaction runs over each shape; a second
+  // iteration's region cuts blocks at an activation boundary. Every
+  // supported level must reproduce the brute-force oracle byte for
+  // byte on all four operators.
+  Rng rng(7);
+  std::vector<RegionEntry> entries;
+  int64_t cursor = 0;
+  for (Pre i = 0; i < 64; ++i) {
+    cursor += rng.UniformRange(0, 9);
+    entries.push_back(RegionEntry{cursor, cursor + rng.UniformRange(0, 12),
+                                  static_cast<Pre>(i + 2)});
+  }
+  so::RegionIndex index = so::RegionIndex::FromEntries(std::move(entries));
+  const so::RegionColumns all = index.columns();
+  const std::vector<simd::Level> levels = DispatchLevels();
+  const std::vector<uint32_t> ann_iters{0, 1};
+  const size_t lo_values[] = {0, 1, 2, 3, 5};
+  const size_t len_values[] = {0, 1, 2, 3, 5, 7, 8, 9, 15, 17, 33};
+  for (size_t lo : lo_values) {
+    for (size_t len : len_values) {
+      if (lo + len > all.size) continue;
+      const so::RegionColumns slice = all.Slice(lo, lo + len);
+      const int64_t span_lo = len > 0 ? slice.start[0] : 0;
+      const int64_t span_hi = len > 0 ? slice.start[len - 1] + 16 : 8;
+      std::vector<IterRegion> context{
+          IterRegion{0, span_lo - 1, span_hi, 0},
+          IterRegion{1, (span_lo + span_hi) / 2, span_hi + 4, 1}};
+      const std::vector<RegionEntry> slice_entries(
+          index.entries().begin() + static_cast<ptrdiff_t>(lo),
+          index.entries().begin() + static_cast<ptrdiff_t>(lo + len));
+      for (so::StandoffOp op : {so::StandoffOp::kSelectNarrow,
+                                so::StandoffOp::kSelectWide,
+                                so::StandoffOp::kRejectNarrow,
+                                so::StandoffOp::kRejectWide}) {
+        const std::vector<IterMatch> oracle = test::OracleStandoffJoin(
+            op, context, slice_entries, index.annotated_ids(), 2);
+        for (simd::Level level : levels) {
+          for (bool gallop : {true, false}) {
+            so::JoinOptions options;
+            options.simd = level;
+            options.gallop = gallop;
+            std::vector<IterMatch> out;
+            CHECK_OK(so::LoopLiftedStandoffJoinColumns(
+                op, context, ann_iters, slice, index.annotated_ids(), 2,
+                &out, options));
+            CHECK(out == oracle);
+          }
+        }
+      }
+    }
+  }
+}
+
 static void TestGallopAgainstOracleRandomized() {
   // Sparse randomized sweep biased to trigger long skips, both kinds of
   // active list.
@@ -185,13 +282,16 @@ static void TestGallopAgainstOracleRandomized() {
           op, context, index.entries(), index.annotated_ids(), iters);
       for (so::ActiveListKind kind : {so::ActiveListKind::kSortedList,
                                       so::ActiveListKind::kEndHeap}) {
-        so::JoinOptions options;
-        options.active_list = kind;
-        std::vector<IterMatch> out;
-        CHECK_OK(so::LoopLiftedStandoffJoin(
-            op, context, ann_iters, index.entries(), index,
-            index.annotated_ids(), iters, &out, options));
-        CHECK(out == oracle);
+        for (simd::Level level : DispatchLevels()) {
+          so::JoinOptions options;
+          options.active_list = kind;
+          options.simd = level;
+          std::vector<IterMatch> out;
+          CHECK_OK(so::LoopLiftedStandoffJoin(
+              op, context, ann_iters, index.entries(), index,
+              index.annotated_ids(), iters, &out, options));
+          CHECK(out == oracle);
+        }
       }
     }
   }
@@ -205,6 +305,7 @@ int main() {
   RUN_TEST(TestZeroWidthAtSkipBoundary);
   RUN_TEST(TestDeadContextSkip);
   RUN_TEST(TestWideGallopBoundaries);
+  RUN_TEST(TestDispatchTailsAndSlices);
   RUN_TEST(TestGallopAgainstOracleRandomized);
   TEST_MAIN();
 }
