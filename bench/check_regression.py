@@ -15,9 +15,16 @@ factor. A ratio gate is skipped (not failed) when the fast row's
 simd_level counter is 0: the host resolved auto-dispatch to scalar, so
 both rows ran identical code.
 
-Exit codes: 0 ok, 1 regression / missing metric / unit mismatch.
+Results whose gbench context reports a non-release benchmark library
+(library_build_type != "release") are rejected outright — debug-built
+timing harnesses produce numbers that gate nothing meaningful. Set
+STANDOFF_BENCH_ALLOW_NON_RELEASE=1 to compare them anyway.
+
+Exit codes: 0 ok, 1 regression / missing metric / unit mismatch /
+debug-built benchmark library.
 """
 import json
+import os
 import sys
 
 
@@ -31,10 +38,19 @@ def main() -> int:
     threshold = float(baseline.get("threshold", 2.5))
     failures = []
     checked = 0
+    if os.environ.get("STANDOFF_BENCH_ALLOW_NON_RELEASE") != "1":
+        for binary, run in results.items():
+            build = run.get("context", {}).get("library_build_type")
+            if build != "release":
+                failures.append(
+                    f"{binary}: benchmark library_build_type={build!r} "
+                    "(need 'release'; see STANDOFF_GBENCH_FROM_SOURCE)")
     for binary, metrics in baseline["metrics"].items():
         runs = {b["name"]: b
                 for b in results.get(binary, {}).get("benchmarks", [])}
         for name, base in metrics.items():
+            if name.startswith("_"):  # _comment keys are annotations
+                continue
             current = runs.get(name)
             label = f"{binary}:{name}"
             if current is None:

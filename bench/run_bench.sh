@@ -51,7 +51,7 @@ fi
 
 BENCHES=(bench_mergejoin_micro bench_parallel_scaling
          bench_ablation_active_list bench_ablation_pushdown bench_loading
-         bench_skew_sparsity bench_chain_planner)
+         bench_skew_sparsity bench_chain_planner bench_server_loadgen)
 
 # Runs one bench under a tiny wrapper that reports the child's peak RSS
 # (resource.getrusage of the finished child) next to its timings —
@@ -96,13 +96,30 @@ if [[ "$ran" -eq 0 ]]; then
   exit 1
 fi
 
-# Merge: one top-level object keyed by benchmark binary.
-python3 - "$OUT" "$TMP_DIR" <<'PY'
+# Merge: one top-level object keyed by benchmark binary. Refuses to
+# record results whose own gbench context says the benchmark LIBRARY was
+# a debug build (the distro libbenchmark trap: the project can be
+# Release while a debug-built gbench skews and mislabels every number).
+# STANDOFF_BENCH_ALLOW_NON_RELEASE=1 overrides, as for the project
+# build-type check above.
+python3 - "$OUT" "$TMP_DIR" \
+        "${STANDOFF_BENCH_ALLOW_NON_RELEASE:-0}" <<'PY'
 import json, pathlib, sys
-out_path, tmp_dir = sys.argv[1], sys.argv[2]
+out_path, tmp_dir, allow_debug = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
 merged = {}
+debug_contexts = []
 for path in sorted(pathlib.Path(tmp_dir).glob("*.json")):
     merged[path.stem] = json.loads(path.read_text())
+    build = merged[path.stem].get("context", {}).get("library_build_type")
+    if build != "release":
+        debug_contexts.append(f"{path.stem} (library_build_type={build})")
+if debug_contexts and not allow_debug:
+    print("refusing to record non-release benchmark-library contexts:\n  "
+          + "\n  ".join(debug_contexts)
+          + "\n(reconfigure with STANDOFF_GBENCH_FROM_SOURCE=ON and "
+          "CMAKE_BUILD_TYPE=Release, or set "
+          "STANDOFF_BENCH_ALLOW_NON_RELEASE=1)", file=sys.stderr)
+    sys.exit(1)
 pathlib.Path(out_path).write_text(json.dumps(merged, indent=2) + "\n")
 print(f"wrote {out_path}")
 PY

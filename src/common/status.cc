@@ -12,6 +12,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kTimedOut: return "TIMED_OUT";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kTimedOut = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kUnavailable = 7,
 };
 
 class Status {
@@ -45,6 +46,11 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  /// Transient overload: the caller should back off and retry. The
+  /// server's admission gate returns this for queue-full backpressure.
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

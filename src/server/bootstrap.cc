@@ -1,0 +1,39 @@
+#include "server/bootstrap.h"
+
+#include "storage/sharded_store.h"
+#include "storage/snapshot.h"
+#include "xmark/generator.h"
+#include "xmark/standoff_transform.h"
+
+namespace standoff {
+namespace server {
+
+Status BuildXmarkSnapshot(const std::string& path,
+                          const BootstrapOptions& options) {
+  if (options.documents == 0) {
+    return Status::Invalid("bootstrap needs at least one document");
+  }
+  storage::ShardedStore store(options.shard_count);
+  for (uint32_t d = 0; d < options.documents; ++d) {
+    xmark::XmarkOptions xmark_options;
+    xmark_options.scale = options.scale;
+    xmark_options.seed = options.seed + d;
+    const std::string nested = xmark::GenerateXmark(xmark_options);
+    if (d % 2 == 0) {
+      auto standoff_doc = xmark::ToStandoff(nested);
+      if (!standoff_doc.ok()) return standoff_doc.status();
+      auto id = store.AddDocumentText("xmark_so_" + std::to_string(d),
+                                      standoff_doc->xml);
+      if (!id.ok()) return id.status();
+      STANDOFF_RETURN_IF_ERROR(store.SetBlob(*id, standoff_doc->blob));
+    } else {
+      auto id = store.AddDocumentText("xmark_nested_" + std::to_string(d),
+                                      nested);
+      if (!id.ok()) return id.status();
+    }
+  }
+  return storage::SaveSnapshot(store, path);
+}
+
+}  // namespace server
+}  // namespace standoff

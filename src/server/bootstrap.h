@@ -1,0 +1,33 @@
+// Shared corpus builder for the server binary, the load generator, and
+// the server tests: a deterministic XMark-derived snapshot whose
+// documents alternate StandOff transforms (for chain and standoff
+// FLWOR queries) with nested originals (for navigation queries).
+// Document 0 is always a StandOff transform, because absolute FLWOR
+// paths bind to document 0.
+#ifndef STANDOFF_SERVER_BOOTSTRAP_H_
+#define STANDOFF_SERVER_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace standoff {
+namespace server {
+
+struct BootstrapOptions {
+  double scale = 0.02;      // XMark scale per generated document
+  uint32_t documents = 4;   // total documents (>= 1)
+  uint32_t shard_count = 2;
+  uint64_t seed = 20060619; // deterministic corpus, like xmark defaults
+};
+
+/// Builds the corpus and saves it as a snapshot at `path` (durable
+/// atomic publish, like every SaveSnapshot).
+Status BuildXmarkSnapshot(const std::string& path,
+                          const BootstrapOptions& options = {});
+
+}  // namespace server
+}  // namespace standoff
+
+#endif  // STANDOFF_SERVER_BOOTSTRAP_H_

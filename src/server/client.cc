@@ -1,0 +1,147 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace standoff {
+namespace server {
+
+namespace {
+
+/// Decodes a kError body (u8 code + message) into its Status.
+Status DecodeError(const std::string& body) {
+  if (body.empty()) return Status::Internal("empty error frame");
+  const auto code = static_cast<StatusCode>(static_cast<uint8_t>(body[0]));
+  return Status(code, body.substr(1));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st =
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::Ping() {
+  STANDOFF_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kPingReq, "ping"));
+  auto reply = ReadFrame(fd_);
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kPong || reply->body != "ping") {
+    return Status::Internal("bad pong");
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryReply> Client::Query(const std::string& text) {
+  STANDOFF_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kQueryReq, text));
+
+  auto first = ReadFrame(fd_);
+  if (!first.ok()) return first.status();
+  QueryReply out;
+  if (first->type == MsgType::kBusy) {
+    out.busy = true;
+    return out;
+  }
+  if (first->type == MsgType::kError) return DecodeError(first->body);
+  if (first->type != MsgType::kResultHeader) {
+    return Status::Internal("expected result header, got type " +
+                            std::to_string(static_cast<int>(first->type)));
+  }
+  size_t off = 0;
+  auto generation = TakeU64(first->body, &off);
+  if (!generation.ok()) return generation.status();
+  if (first->body.size() < off + 1) {
+    return Status::Internal("result header too short");
+  }
+  out.generation = *generation;
+  out.kind = static_cast<uint8_t>(first->body[off++]);
+  auto payload_bytes = TakeU64(first->body, &off);
+  if (!payload_bytes.ok()) return payload_bytes.status();
+  auto rows = TakeU64(first->body, &off);
+  if (!rows.ok()) return rows.status();
+  out.rows = *rows;
+
+  out.payload.reserve(*payload_bytes);
+  for (;;) {
+    auto frame = ReadFrame(fd_);
+    if (!frame.ok()) return frame.status();
+    if (frame->type == MsgType::kResultChunk) {
+      out.payload.append(frame->body);
+      if (out.payload.size() > *payload_bytes) {
+        return Status::Internal("result chunks exceed announced size");
+      }
+      continue;
+    }
+    if (frame->type == MsgType::kResultEnd) {
+      size_t end_off = 0;
+      auto micros = TakeU64(frame->body, &end_off);
+      if (!micros.ok()) return micros.status();
+      out.server_micros = *micros;
+      break;
+    }
+    return Status::Internal("unexpected frame inside result stream");
+  }
+  if (out.payload.size() != *payload_bytes) {
+    return Status::Internal("result stream ended short");
+  }
+  return out;
+}
+
+StatusOr<uint64_t> Client::Swap(const std::string& path) {
+  STANDOFF_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kSwapReq, path));
+  auto reply = ReadFrame(fd_);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == MsgType::kError) return DecodeError(reply->body);
+  if (reply->type != MsgType::kSwapOk) {
+    return Status::Internal("expected kSwapOk");
+  }
+  size_t off = 0;
+  return TakeU64(reply->body, &off);
+}
+
+StatusOr<ServerStats> Client::Stats() {
+  STANDOFF_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kStatsReq, ""));
+  auto reply = ReadFrame(fd_);
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kStatsRep) {
+    return Status::Internal("expected kStatsRep");
+  }
+  size_t off = 0;
+  ServerStats stats;
+  uint64_t* fields[] = {&stats.generation,           &stats.queries_ok,
+                        &stats.queries_rejected,     &stats.queries_error,
+                        &stats.connections_accepted, &stats.swaps};
+  for (uint64_t* field : fields) {
+    auto value = TakeU64(reply->body, &off);
+    if (!value.ok()) return value.status();
+    *field = *value;
+  }
+  return stats;
+}
+
+}  // namespace server
+}  // namespace standoff

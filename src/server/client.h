@@ -1,0 +1,62 @@
+// Blocking client for the server's wire protocol: one TCP connection,
+// one request at a time (matching the server's serial-per-connection
+// framing). Used by the load generator, the server tests, and the CLI.
+#ifndef STANDOFF_SERVER_CLIENT_H_
+#define STANDOFF_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace standoff {
+namespace server {
+
+/// A complete query exchange. `busy` is the backpressure outcome: the
+/// server refused admission (kBusy) — not an error, retry later.
+struct QueryReply {
+  bool busy = false;
+  uint64_t generation = 0;
+  uint8_t kind = 0;  // 0 chain, 1 flwor
+  uint64_t rows = 0;
+  std::string payload;       // the reassembled chunk bytes
+  uint64_t server_micros = 0;
+};
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port.
+  static StatusOr<std::unique_ptr<Client>> Connect(uint16_t port);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trips a ping; the body must echo back.
+  Status Ping();
+
+  /// Runs one query. Query failures the server reports (parse errors,
+  /// bad doc ids, engine errors) come back as the error Status with the
+  /// server's code and message; kBusy comes back OK with busy=true.
+  StatusOr<QueryReply> Query(const std::string& text);
+
+  /// Asks the server to hot-swap to `path`; returns the new generation.
+  StatusOr<uint64_t> Swap(const std::string& path);
+
+  StatusOr<ServerStats> Stats();
+
+  /// The raw socket, for tests that need to write malformed bytes.
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+}  // namespace server
+}  // namespace standoff
+
+#endif  // STANDOFF_SERVER_CLIENT_H_

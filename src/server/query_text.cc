@@ -1,0 +1,156 @@
+#include "server/query_text.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace standoff {
+namespace server {
+
+namespace {
+
+std::vector<std::string_view> SplitOn(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+StatusOr<xquery::Axis> ParseAxis(std::string_view token) {
+  if (token == "select-narrow" || token == "sn") {
+    return xquery::Axis::kSelectNarrow;
+  }
+  if (token == "select-wide" || token == "sw") {
+    return xquery::Axis::kSelectWide;
+  }
+  if (token == "reject-narrow" || token == "rn") {
+    return xquery::Axis::kRejectNarrow;
+  }
+  if (token == "reject-wide" || token == "rw") {
+    return xquery::Axis::kRejectWide;
+  }
+  return Status::Invalid("unknown axis '" + std::string(token) +
+                         "' (want select-narrow/select-wide/"
+                         "reject-narrow/reject-wide or sn/sw/rn/rw)");
+}
+
+StatusOr<uint32_t> ParseU32(std::string_view token) {
+  if (token.empty()) return Status::Invalid("empty number");
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return Status::Invalid("bad number '" + std::string(token) + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 0xFFFFFFFFull) {
+      return Status::Invalid("number '" + std::string(token) +
+                             "' out of range");
+    }
+  }
+  return static_cast<uint32_t>(value);
+}
+
+StatusOr<ParsedQuery> ParseChain(std::string_view rest) {
+  ParsedQuery parsed;
+  parsed.kind = ParsedQuery::Kind::kChain;
+  bool saw_doc = false, saw_ctx = false, saw_steps = false;
+  for (std::string_view field : SplitOn(rest, ' ')) {
+    if (field.empty()) continue;
+    const size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Invalid("chain field '" + std::string(field) +
+                             "' is not key=value");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "doc") {
+      auto doc = ParseU32(value);
+      if (!doc.ok()) return doc.status();
+      parsed.chain.doc = *doc;
+      saw_doc = true;
+    } else if (key == "ctx") {
+      if (value.empty()) return Status::Invalid("empty ctx name");
+      if (value == "*") {
+        parsed.chain.context_any = true;
+      } else {
+        parsed.chain.context_name = std::string(value);
+      }
+      saw_ctx = true;
+    } else if (key == "steps") {
+      for (std::string_view step_text : SplitOn(value, ',')) {
+        const size_t colon = step_text.find(':');
+        if (colon == std::string_view::npos) {
+          return Status::Invalid("step '" + std::string(step_text) +
+                                 "' is not axis:name");
+        }
+        auto axis = ParseAxis(step_text.substr(0, colon));
+        if (!axis.ok()) return axis.status();
+        const std::string_view name = step_text.substr(colon + 1);
+        if (name.empty()) {
+          return Status::Invalid("step '" + std::string(step_text) +
+                                 "' has an empty name");
+        }
+        xquery::ChainStep step;
+        step.axis = *axis;
+        if (name == "*") {
+          step.any_name = true;
+        } else {
+          step.name = std::string(name);
+        }
+        parsed.chain.steps.push_back(std::move(step));
+      }
+      saw_steps = true;
+    } else if (key == "type") {
+      if (value.empty()) return Status::Invalid("empty type value");
+      parsed.chain.standoff_type = std::string(value);
+    } else {
+      return Status::Invalid("unknown chain key '" + std::string(key) + "'");
+    }
+  }
+  if (!saw_doc) return Status::Invalid("chain query missing doc=");
+  if (!saw_ctx) return Status::Invalid("chain query missing ctx=");
+  if (!saw_steps || parsed.chain.steps.empty()) {
+    return Status::Invalid("chain query needs at least one step");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseQueryText(std::string_view text) {
+  // Trim outer whitespace; queries are one line.
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\n' ||
+                           text.front() == '\t' || text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\n' ||
+                           text.back() == '\t' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return Status::Invalid("empty query");
+
+  const size_t space = text.find(' ');
+  const std::string_view verb = text.substr(0, space);
+  const std::string_view rest =
+      space == std::string_view::npos ? std::string_view() : text.substr(space + 1);
+  if (verb == "chain") return ParseChain(rest);
+  if (verb == "flwor") {
+    if (rest.empty()) return Status::Invalid("flwor query has no text");
+    ParsedQuery parsed;
+    parsed.kind = ParsedQuery::Kind::kFlwor;
+    parsed.flwor = std::string(rest);
+    return parsed;
+  }
+  return Status::Invalid("unknown query verb '" + std::string(verb) +
+                         "' (want chain or flwor)");
+}
+
+}  // namespace server
+}  // namespace standoff

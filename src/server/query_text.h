@@ -1,0 +1,45 @@
+// The text form of a kQueryReq body: a one-line query in one of two
+// dialects, dispatched on the first word.
+//
+//   chain doc=<N> ctx=<name|*> steps=<axis>:<name>[,<axis>:<name>...]
+//       A multi-predicate chain query (Engine::EvaluateChain). Axes:
+//       select-narrow / select-wide / reject-narrow / reject-wide, or
+//       the short forms sn / sw / rn / rw. A name of "*" matches any
+//       annotated element (ctx=* likewise). Optional trailing
+//       type=<standoff_type> forwards ChainQuery::standoff_type.
+//
+//   flwor <xquery text>
+//       Everything after the first space is handed to Engine::Evaluate
+//       verbatim — the FLWOR subset with standoff axes, e.g.
+//       "count(/site/select-narrow::description)". Absolute paths bind
+//       to document 0, per the engine's convention.
+//
+// Parsing is strict: unknown keys, missing fields, malformed numbers,
+// and empty step lists are kInvalidArgument with a message naming the
+// offending token — the server relays that message in a kError frame,
+// so a typo in a client query is diagnosable from the client side.
+#ifndef STANDOFF_SERVER_QUERY_TEXT_H_
+#define STANDOFF_SERVER_QUERY_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/engine.h"
+
+namespace standoff {
+namespace server {
+
+struct ParsedQuery {
+  enum class Kind { kChain, kFlwor };
+  Kind kind = Kind::kChain;
+  xquery::ChainQuery chain;  // valid when kind == kChain
+  std::string flwor;         // valid when kind == kFlwor
+};
+
+StatusOr<ParsedQuery> ParseQueryText(std::string_view text);
+
+}  // namespace server
+}  // namespace standoff
+
+#endif  // STANDOFF_SERVER_QUERY_TEXT_H_

@@ -1,0 +1,445 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <utility>
+
+#include "common/timer.h"
+#include "server/query_text.h"
+#include "server/wire.h"
+
+namespace standoff {
+namespace server {
+
+namespace {
+
+/// Result kinds stamped into kResultHeader.
+constexpr uint8_t kKindChain = 0;
+constexpr uint8_t kKindFlwor = 1;
+
+std::string ErrorBody(const Status& status) {
+  std::string body;
+  body.push_back(static_cast<char>(status.code()));
+  body.append(status.message());
+  return body;
+}
+
+/// Chain payload: u32 context count + ids, u32 match count + rows of
+/// (u32 iter, u32 pre). Fixed little-endian layout, identical no
+/// matter which generation or server produced it — the hot-swap test
+/// compares these bytes against a cold single-process run.
+std::string SerializeChain(const xquery::ChainResult& result) {
+  std::string payload;
+  payload.reserve(8 + 4 * result.context_ids.size() +
+                  8 * result.matches.size());
+  AppendU32(&payload, static_cast<uint32_t>(result.context_ids.size()));
+  for (storage::Pre id : result.context_ids) AppendU32(&payload, id);
+  AppendU32(&payload, static_cast<uint32_t>(result.matches.size()));
+  for (const so::IterMatch& match : result.matches) {
+    AppendU32(&payload, match.iter);
+    AppendU32(&payload, match.pre);
+  }
+  return payload;
+}
+
+/// FLWOR payload: u32 item count, then per item a u8 kind tag and the
+/// value (node: u32 doc + u32 pre; int/double: 8 bytes; string: u32
+/// length + bytes).
+std::string SerializeFlwor(const algebra::QueryResult& result) {
+  using Kind = algebra::Item::Kind;
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(result.items.size()));
+  for (const auto& item : result.items) {
+    payload.push_back(static_cast<char>(item.kind()));
+    switch (item.kind()) {
+      case Kind::kNode: {
+        const auto node = item.stored_node();
+        AppendU32(&payload, node.doc);
+        AppendU32(&payload, node.pre);
+        break;
+      }
+      case Kind::kInt:
+        AppendU64(&payload, static_cast<uint64_t>(item.int_value()));
+        break;
+      case Kind::kDouble: {
+        uint64_t bits = 0;
+        const double value = item.double_value();
+        static_assert(sizeof bits == sizeof value, "double is 8 bytes");
+        std::memcpy(&bits, &value, sizeof bits);
+        AppendU64(&payload, bits);
+        break;
+      }
+      case Kind::kString: {
+        const std::string& text = item.string_value();
+        AppendU32(&payload, static_cast<uint32_t>(text.size()));
+        payload.append(text);
+        break;
+      }
+    }
+  }
+  return payload;
+}
+
+}  // namespace
+
+/// Per-connection execution state: the generation this connection's
+/// engine was built over, the shared store pinning that generation's
+/// mapping, and the warmed BatchEngine. Only the connection's own
+/// thread touches it (frames are serial per connection); the pool task
+/// borrows it for exactly one query at a time.
+struct Server::ConnState {
+  uint64_t generation = 0;  // 0 = no engine built yet
+  std::shared_ptr<const storage::ShardedStore> store;
+  std::unique_ptr<xquery::BatchEngine> engine;
+};
+
+Server::Server(ServerConfig config)
+    : config_(config), gate_(config.admission_capacity) {}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(
+    const std::string& snapshot_path, const ServerConfig& config) {
+  auto snapshot = storage::Snapshot::Open(snapshot_path);
+  if (!snapshot.ok()) return snapshot.status();
+
+  std::unique_ptr<Server> server(new Server(config));
+  server->generation_ = 1;
+  server->store_ = (*snapshot)->shared_store();
+  snapshot->reset();  // the shared store keeps the mapping alive
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status st =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const Status st =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  server->port_ = ntohs(addr.sin_port);
+  server->listen_fd_ = fd;
+
+  server->pool_ = std::make_unique<ThreadPool>(config.pool_workers);
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+uint64_t Server::generation() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return generation_;
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.generation = generation();
+  out.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  out.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  out.queries_error = queries_error_.load(std::memory_order_relaxed);
+  out.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  out.swaps = swaps_.load(std::memory_order_relaxed);
+  return out;
+}
+
+StatusOr<uint64_t> Server::SwapSnapshot(const std::string& path) {
+  auto snapshot = storage::Snapshot::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  std::shared_ptr<const storage::ShardedStore> fresh =
+      (*snapshot)->shared_store();
+  snapshot->reset();  // safe: `fresh` pins the new mapping
+
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    generation = ++generation_;
+    store_ = std::move(fresh);
+    // The old generation's shared_ptr just dropped; its mapping
+    // unmaps when the last in-flight query or connection engine
+    // releases its reference. That IS the drain.
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return generation;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;  // Stop() retired the socket
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed by Stop(), or fatal
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (live_connections_.fetch_add(1, std::memory_order_acquire) >=
+        static_cast<int64_t>(config_.max_connections)) {
+      live_connections_.fetch_sub(1, std::memory_order_release);
+      WriteFrame(fd, MsgType::kError,
+                 ErrorBody(Status::Unavailable("connection limit reached")));
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    live_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void Server::ConnectionLoop(int fd) {
+  ConnState conn;
+  for (;;) {
+    auto frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      // Protocol violations (oversized/zero length prefix) get a
+      // best-effort diagnostic; clean closes and truncated frames
+      // just end the connection. Either way: close, never crash.
+      if (frame.status().code() == StatusCode::kInvalidArgument) {
+        WriteFrame(fd, MsgType::kError, ErrorBody(frame.status()));
+      }
+      break;
+    }
+    bool alive = true;
+    switch (frame->type) {
+      case MsgType::kPingReq:
+        alive = WriteFrame(fd, MsgType::kPong, frame->body).ok();
+        break;
+      case MsgType::kStatsReq:
+        SendStats(fd);
+        break;
+      case MsgType::kSwapReq: {
+        auto generation = SwapSnapshot(frame->body);
+        if (generation.ok()) {
+          std::string body;
+          AppendU64(&body, *generation);
+          alive = WriteFrame(fd, MsgType::kSwapOk, body).ok();
+        } else {
+          alive =
+              WriteFrame(fd, MsgType::kError, ErrorBody(generation.status()))
+                  .ok();
+        }
+        break;
+      }
+      case MsgType::kQueryReq:
+        alive = HandleQuery(fd, &conn, frame->body);
+        break;
+      default:
+        alive = WriteFrame(fd, MsgType::kError,
+                           ErrorBody(Status::Invalid(
+                               "unknown request type")))
+                    .ok();
+        break;
+    }
+    if (!alive) break;
+  }
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (size_t i = 0; i < live_fds_.size(); ++i) {
+      if (live_fds_[i] == fd) {
+        live_fds_.erase(live_fds_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  live_connections_.fetch_sub(1, std::memory_order_release);
+}
+
+bool Server::HandleQuery(int fd, ConnState* conn, const std::string& text) {
+  auto parsed = ParseQueryText(text);
+  if (!parsed.ok()) {
+    queries_error_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(fd, MsgType::kError, ErrorBody(parsed.status())).ok();
+  }
+
+  if (!gate_.TryEnter()) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(fd, MsgType::kBusy, "").ok();
+  }
+
+  // Pin the generation this query runs against.
+  uint64_t generation = 0;
+  std::shared_ptr<const storage::ShardedStore> store;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    generation = generation_;
+    store = store_;
+  }
+  if (conn->generation != generation) {
+    // First query after a swap (or ever): rebuild the engine over the
+    // new generation. The old store's reference drops here — this is
+    // where an idle connection releases the previous mapping.
+    xquery::EngineOptions options;
+    options.timeout_seconds = config_.query_timeout_seconds;
+    conn->engine =
+        std::make_unique<xquery::BatchEngine>(store.get(), options);
+    conn->store = store;
+    conn->generation = generation;
+  }
+
+  // Run on the shared pool; the connection thread waits (frames stay
+  // serial per connection) and the gate empties when the task ends.
+  struct TaskResult {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::string payload;
+    uint8_t kind = kKindChain;
+    uint64_t rows = 0;
+    double seconds = 0;
+  };
+  auto result = std::make_shared<TaskResult>();
+  pool_->Submit([this, conn, store, parsed = *parsed, result] {
+    Timer timer;
+    Status status;
+    std::string payload;
+    uint8_t kind = kKindChain;
+    uint64_t rows = 0;
+    if (parsed.kind == ParsedQuery::Kind::kChain) {
+      if (parsed.chain.doc >= store->document_count()) {
+        status = Status::Invalid(
+            "doc " + std::to_string(parsed.chain.doc) + " out of range (" +
+            std::to_string(store->document_count()) + " documents)");
+      } else {
+        auto chain = conn->engine
+                         ->shard_engine(store->shard_of(parsed.chain.doc))
+                         ->EvaluateChain(parsed.chain);
+        if (chain.ok()) {
+          payload = SerializeChain(*chain);
+          rows = chain->matches.size();
+        } else {
+          status = chain.status();
+        }
+      }
+    } else {
+      kind = kKindFlwor;
+      auto flwor = conn->engine->shard_engine(0)->Evaluate(parsed.flwor);
+      if (flwor.ok()) {
+        payload = SerializeFlwor(*flwor);
+        rows = flwor->items.size();
+      } else {
+        status = flwor.status();
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    gate_.Leave();
+    {
+      std::lock_guard<std::mutex> lock(result->mu);
+      result->status = status;
+      result->payload = std::move(payload);
+      result->kind = kind;
+      result->rows = rows;
+      result->seconds = seconds;
+      result->done = true;
+    }
+    result->cv.notify_one();
+  });
+
+  std::unique_lock<std::mutex> lock(result->mu);
+  result->cv.wait(lock, [&result] { return result->done; });
+
+  if (!result->status.ok()) {
+    queries_error_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFrame(fd, MsgType::kError, ErrorBody(result->status)).ok();
+  }
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string header;
+  AppendU64(&header, generation);
+  header.push_back(static_cast<char>(result->kind));
+  AppendU64(&header, result->payload.size());
+  AppendU64(&header, result->rows);
+  if (!WriteFrame(fd, MsgType::kResultHeader, header).ok()) return false;
+  for (size_t off = 0; off < result->payload.size(); off += kChunkBytes) {
+    const size_t len = std::min(kChunkBytes, result->payload.size() - off);
+    if (!WriteFrame(fd, MsgType::kResultChunk,
+                    std::string_view(result->payload).substr(off, len))
+             .ok()) {
+      return false;
+    }
+  }
+  std::string end;
+  AppendU64(&end, static_cast<uint64_t>(result->seconds * 1e6));
+  return WriteFrame(fd, MsgType::kResultEnd, end).ok();
+}
+
+void Server::SendStats(int fd) {
+  const ServerStats stats = this->stats();
+  std::string body;
+  AppendU64(&body, stats.generation);
+  AppendU64(&body, stats.queries_ok);
+  AppendU64(&body, stats.queries_rejected);
+  AppendU64(&body, stats.queries_error);
+  AppendU64(&body, stats.connections_accepted);
+  AppendU64(&body, stats.swaps);
+  WriteFrame(fd, MsgType::kStatsRep, body);
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Wake the accept loop: closing the listen fd fails the blocking
+  // accept() with EBADF/ECONNABORTED.
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Wake every connection's blocking read. The fds themselves are
+  // closed by their owning connection threads.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // No new threads can appear (accept loop is gone); join them all.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  pool_.reset();  // drains any still-queued tasks deterministically
+}
+
+}  // namespace server
+}  // namespace standoff

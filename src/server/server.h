@@ -1,0 +1,164 @@
+// A long-lived concurrent query server over an open snapshot.
+//
+// Threading model (DESIGN.md §13):
+//
+//   accept thread ── spawns ──> one thread per connection (frames are
+//   handled serially per connection) ── admits queries through the
+//   AdmissionGate ──> shared execution ThreadPool runs the query on the
+//   connection's BatchEngine; the connection thread streams the result.
+//
+// Backpressure: the gate bounds queries queued-or-running across ALL
+// connections. When it is full, a kQueryReq is answered immediately
+// with kBusy — the request is never buffered, so a burst cannot grow
+// an unbounded queue; clients retry with their own policy. Capacity 0
+// rejects everything (useful for deterministic backpressure tests).
+//
+// Snapshot hot-swap: SwapSnapshot opens the new file, publishes
+// {generation+1, new shared store} under the state mutex, and destroys
+// the Snapshot object immediately. Draining is entirely reference
+// counting (the PR-7 mapping-lifetime contract): every admitted query
+// captured a shared_ptr to the generation it started on, so in-flight
+// work finishes over the old mapping and the munmap happens when the
+// last reference drops. No query ever blocks on a swap, and a swap
+// never waits for queries.
+//
+// A connection's BatchEngine (and its warmed caches) is rebuilt lazily
+// on the first query AFTER the connection observes a new generation;
+// an idle connection therefore pins the previous mapping until its
+// next query — the deliberate cost of zero coordination on the query
+// path.
+#ifndef STANDOFF_SERVER_SERVER_H_
+#define STANDOFF_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "storage/sharded_store.h"
+#include "storage/snapshot.h"
+#include "xquery/engine.h"
+
+namespace standoff {
+namespace server {
+
+struct ServerConfig {
+  /// TCP port to listen on; 0 binds an ephemeral port (read it back
+  /// with port()). Listens on 127.0.0.1 only.
+  uint16_t port = 0;
+  /// Workers in the shared execution pool.
+  uint32_t pool_workers = 2;
+  /// Admission bound: queries queued-or-running across all connections.
+  /// Requests beyond it get kBusy. 0 = reject every query.
+  uint32_t admission_capacity = 8;
+  /// Connections beyond this are greeted with kError and closed.
+  uint32_t max_connections = 64;
+  /// Per-query engine timeout in seconds; <= 0 means unlimited.
+  double query_timeout_seconds = 0;
+};
+
+struct ServerStats {
+  uint64_t generation = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_rejected = 0;  // kBusy answers
+  uint64_t queries_error = 0;     // parse or execution failures
+  uint64_t connections_accepted = 0;
+  uint64_t swaps = 0;
+};
+
+/// Bounded admission: TryEnter either reserves a slot or reports the
+/// gate full, wait-free either way.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(uint32_t capacity) : capacity_(capacity) {}
+
+  bool TryEnter() {
+    if (in_flight_.fetch_add(1, std::memory_order_acquire) >=
+        static_cast<int64_t>(capacity_)) {
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+  void Leave() { in_flight_.fetch_sub(1, std::memory_order_release); }
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> in_flight_{0};
+  const int64_t capacity_;
+};
+
+class Server {
+ public:
+  /// Opens the snapshot (generation 1), binds, and starts accepting.
+  static StatusOr<std::unique_ptr<Server>> Start(
+      const std::string& snapshot_path, const ServerConfig& config);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves port 0 to the ephemeral port chosen).
+  uint16_t port() const { return port_; }
+
+  /// Opens `path` and atomically publishes it as the next generation.
+  /// Returns the new generation number. In-flight queries drain over
+  /// the old mapping by refcount; see the file comment.
+  StatusOr<uint64_t> SwapSnapshot(const std::string& path);
+
+  uint64_t generation() const;
+  ServerStats stats() const;
+
+  /// Stops accepting, wakes every connection, joins all threads, and
+  /// drains the pool. Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  struct ConnState;
+
+  Server(ServerConfig config);
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  /// One kQueryReq: parse, admit, execute on the pool, stream result.
+  /// Returns false when the connection is no longer writable.
+  bool HandleQuery(int fd, ConnState* conn, const std::string& text);
+  void SendStats(int fd);
+
+  const ServerConfig config_;
+  uint16_t port_ = 0;
+  // Atomic: Stop() retires the fd concurrently with AcceptLoop's reads.
+  std::atomic<int> listen_fd_{-1};
+
+  mutable std::mutex state_mu_;
+  uint64_t generation_ = 0;
+  std::shared_ptr<const storage::ShardedStore> store_;
+
+  AdmissionGate gate_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> live_fds_;
+  std::atomic<int64_t> live_connections_{0};
+
+  std::atomic<uint64_t> queries_ok_{0};
+  std::atomic<uint64_t> queries_rejected_{0};
+  std::atomic<uint64_t> queries_error_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> swaps_{0};
+};
+
+}  // namespace server
+}  // namespace standoff
+
+#endif  // STANDOFF_SERVER_SERVER_H_

@@ -1,0 +1,87 @@
+// The server's wire protocol: length-prefixed binary frames over a
+// stream socket.
+//
+//   [u32 LE payload length] [u8 message type] [body ...]
+//
+// The length counts the type byte plus the body and is capped at
+// kMaxFrameBytes (1 MiB) — a peer announcing more is a protocol error
+// and the connection is dropped, so a hostile or corrupt length prefix
+// can never drive an allocation. All integers are little-endian; there
+// is no alignment or padding anywhere in a frame.
+//
+// Request types (client -> server):
+//   kQueryReq  body = query text (see server/query_text.h)
+//   kPingReq   body echoed back verbatim in kPong
+//   kStatsReq  empty body
+//   kSwapReq   body = snapshot path to hot-swap to
+//
+// Response types (server -> client):
+//   kResultHeader  u64 generation, u8 result kind (0 chain, 1 flwor),
+//                  u64 total payload bytes, u64 row count
+//   kResultChunk   raw payload bytes (split at kChunkBytes)
+//   kResultEnd     u64 server-side execution micros
+//   kPong          echo of the ping body
+//   kStatsRep      u64 generation, queries_ok, queries_rejected,
+//                  queries_error, connections_accepted, swaps
+//   kSwapOk        u64 new generation
+//   kError         u8 status code, rest = message (query failed;
+//                  connection stays usable)
+//   kBusy          empty body: admission queue full, retry later
+#ifndef STANDOFF_SERVER_WIRE_H_
+#define STANDOFF_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace standoff {
+namespace server {
+
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+inline constexpr size_t kChunkBytes = 64u << 10;
+
+enum class MsgType : uint8_t {
+  kQueryReq = 0x01,
+  kPingReq = 0x02,
+  kStatsReq = 0x03,
+  kSwapReq = 0x04,
+  kResultHeader = 0x81,
+  kResultChunk = 0x82,
+  kResultEnd = 0x83,
+  kPong = 0x84,
+  kStatsRep = 0x85,
+  kSwapOk = 0x86,
+  kError = 0xE0,
+  kBusy = 0xE1,
+};
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string body;
+};
+
+/// Little-endian append/read helpers shared by both frame directions.
+void AppendU32(std::string* out, uint32_t value);
+void AppendU64(std::string* out, uint64_t value);
+/// Reads from body at *offset, advancing it; Invalid on short body.
+StatusOr<uint32_t> TakeU32(std::string_view body, size_t* offset);
+StatusOr<uint64_t> TakeU64(std::string_view body, size_t* offset);
+
+/// Writes one complete frame. Short writes are retried; EPIPE (peer
+/// vanished mid-stream) and other socket errors come back as kInternal.
+/// SIGPIPE is suppressed (MSG_NOSIGNAL).
+Status WriteFrame(int fd, MsgType type, std::string_view body);
+
+/// Reads one complete frame. Error taxonomy, which the server maps to
+/// "close quietly" vs "protocol error":
+///   kNotFound         peer closed cleanly between frames
+///   kInvalidArgument  oversized or zero-length length prefix
+///   kInternal         truncated frame (EOF mid-frame) or socket error
+StatusOr<Frame> ReadFrame(int fd);
+
+}  // namespace server
+}  // namespace standoff
+
+#endif  // STANDOFF_SERVER_WIRE_H_

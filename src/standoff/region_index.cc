@@ -327,7 +327,7 @@ StatusOr<const RegionIndex*> RegionIndexCache::Get(
   // under; anything else falls through to a build from the node table.
   for (const auto& [saved_fingerprint, index] :
        store.document(doc).preloaded_indexes) {
-    if (saved_fingerprint == fingerprint) return index;
+    if (saved_fingerprint == fingerprint) return index.get();
   }
   auto key = std::make_pair(doc, fingerprint);
   auto it = cache_.find(key);

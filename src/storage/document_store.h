@@ -22,17 +22,25 @@ class RegionIndex;  // standoff/region_index.h
 namespace storage {
 
 struct Document {
+  /// Shared ownership of whatever this document's columns borrow from
+  /// (a snapshot's file mapping). Null for documents that own their
+  /// columns. Declared first so it is destroyed last — borrowed views
+  /// below never outlive the bytes they point into.
+  std::shared_ptr<const void> keepalive;
+
   std::string name;
   NodeTable table;
   ElementIndex element_index;
   std::string blob;  // StandOff base text; empty for nested documents
 
   /// Region indexes preloaded from a snapshot, keyed by the standoff
-  /// config fingerprint (see so::ConfigFingerprint). Non-owning — the
-  /// Snapshot that opened this store keeps them (and the mapped columns
-  /// they borrow) alive. RegionIndexCache consults this list before
-  /// rebuilding an index from attribute strings.
-  std::vector<std::pair<std::string, const so::RegionIndex*>>
+  /// config fingerprint (see so::ConfigFingerprint). The shared_ptrs
+  /// alias the snapshot's resource block (mapping + index storage), so
+  /// an entry copied out of this list keeps the bytes it borrows from
+  /// mapped — even after the Snapshot object and this Document are
+  /// gone. RegionIndexCache consults this list before rebuilding an
+  /// index from attribute strings.
+  std::vector<std::pair<std::string, std::shared_ptr<const so::RegionIndex>>>
       preloaded_indexes;
 };
 

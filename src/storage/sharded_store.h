@@ -9,6 +9,7 @@
 #ifndef STANDOFF_STORAGE_SHARDED_STORE_H_
 #define STANDOFF_STORAGE_SHARDED_STORE_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,7 +56,19 @@ class ShardedStore {
   /// documents). Query-layer code must use the const accessor above.
   DocumentStore* mutable_store() { return &store_; }
 
+  /// Shared ownership of external bytes this store's columns borrow
+  /// from (a snapshot's file mapping). Snapshot::Open sets this so any
+  /// holder of a shared ShardedStore transitively keeps the mapping
+  /// alive — the hot-swap drain guarantee: the last in-flight query to
+  /// release the store releases the mapping.
+  void set_keepalive(std::shared_ptr<const void> keepalive) {
+    keepalive_ = std::move(keepalive);
+  }
+
  private:
+  // Declared before store_ so it is destroyed last: the store's
+  // borrowed columns never outlive the mapped bytes behind them.
+  std::shared_ptr<const void> keepalive_;
   DocumentStore store_;
   std::vector<std::vector<DocId>> shard_docs_;
 };

@@ -1,5 +1,6 @@
 #include "storage/snapshot.h"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -194,23 +195,77 @@ class Reader {
   size_t end_;
 };
 
+// Durable atomic publish: the bytes go to a same-directory temp file,
+// are fsync'd to storage, and only then renamed over the final name;
+// the parent directory is fsync'd so the rename itself survives a
+// crash. A reader at `path` therefore sees either the complete old
+// generation or the complete new one, never a truncation — the
+// invariant a hot-swapping server depends on. Any failure (full disk,
+// kill mid-write) leaves at worst a stale "<path>.tmp", which the next
+// save overwrites.
 Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
+#if !defined(_WIN32)
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + tmp + " for writing");
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal("short write to " + tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("cannot fsync " + tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("cannot close " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0 || ::fsync(dfd) != 0) {
+    if (dfd >= 0) ::close(dfd);
+    return Status::Internal("cannot fsync directory " + dir);
+  }
+  ::close(dfd);
+  return Status::OK();
+#else
+  // Portability fallback: atomic rename without the fsync guarantees.
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("cannot open " + tmp + " for writing");
   }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (written != bytes.size() || !flushed) {
+  const size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (wrote != bytes.size() || !flushed || !closed) {
     std::remove(tmp.c_str());
     return Status::Internal("short write to " + tmp);
   }
+  std::remove(path.c_str());  // Windows rename does not replace
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::Internal("cannot rename " + tmp + " to " + path);
   }
   return Status::OK();
+#endif
 }
 
 }  // namespace
@@ -435,7 +490,7 @@ Status SaveImpl(const DocumentStore& store, uint32_t shard_count,
         for (const auto& [saved, preloaded] :
              store.document(entry.doc).preloaded_indexes) {
           if (saved == fingerprint) {
-            entry.index = preloaded;
+            entry.index = preloaded.get();
             return Status::OK();
           }
         }
@@ -507,18 +562,44 @@ Status SaveSnapshot(const DocumentStore& store, const std::string& path,
   return SaveImpl(store, /*shard_count=*/1, path, options);
 }
 
-Snapshot::~Snapshot() {
+namespace {
+
+/// RAII over the raw bytes backing an open snapshot: an mmap'd file on
+/// POSIX, a heap copy elsewhere.
+struct MappedBytes {
+  void* data = nullptr;
+  size_t size = 0;
+  bool heap = false;
+
+  MappedBytes() = default;
+  MappedBytes(const MappedBytes&) = delete;
+  MappedBytes& operator=(const MappedBytes&) = delete;
+  ~MappedBytes() {
 #if !defined(_WIN32)
-  if (map_ != nullptr && !heap_fallback_) munmap(map_, map_size_);
+    if (data != nullptr && !heap) munmap(data, size);
 #endif
-  if (map_ != nullptr && heap_fallback_) {
-    delete[] static_cast<uint8_t*>(map_);
+    if (data != nullptr && heap) delete[] static_cast<uint8_t*>(data);
   }
-}
+};
+
+/// Everything a snapshot-backed store borrows from, bundled behind one
+/// refcount: the mapping and the region indexes whose columns point
+/// into it. ShardedStore::set_keepalive, Document::keepalive, and the
+/// aliasing preloaded-index shared_ptrs all reference this block, so
+/// the mapping unmaps exactly when the last borrower is gone — no
+/// matter which of the Snapshot, the store, or an individual view dies
+/// first.
+struct SnapshotResources {
+  MappedBytes map;  // declared first: destroyed after the indexes
+  std::vector<std::unique_ptr<so::RegionIndex>> indexes;
+};
+
+}  // namespace
 
 StatusOr<std::unique_ptr<Snapshot>> Snapshot::Open(
     const std::string& path, const SnapshotOpenOptions& options) {
   std::unique_ptr<Snapshot> snapshot(new Snapshot());
+  auto resources = std::make_shared<SnapshotResources>();
 
 #if !defined(_WIN32)
   const int fd = open(path.c_str(), O_RDONLY);
@@ -538,8 +619,8 @@ StatusOr<std::unique_ptr<Snapshot>> Snapshot::Open(
   if (map == MAP_FAILED) {
     return Status::Internal("cannot mmap snapshot " + path);
   }
-  snapshot->map_ = map;
-  snapshot->map_size_ = file_size;
+  resources->map.data = map;
+  resources->map.size = file_size;
 #else
   // Portability fallback: read into heap memory (loses the zero-copy
   // property, keeps the format working).
@@ -559,12 +640,13 @@ StatusOr<std::unique_ptr<Snapshot>> Snapshot::Open(
     delete[] heap;
     return Status::Internal("short read from snapshot " + path);
   }
-  snapshot->map_ = heap;
-  snapshot->map_size_ = file_size;
-  snapshot->heap_fallback_ = true;
+  resources->map.data = heap;
+  resources->map.size = file_size;
+  resources->map.heap = true;
 #endif
+  snapshot->file_size_ = resources->map.size;
 
-  const uint8_t* base = static_cast<const uint8_t*>(snapshot->map_);
+  const uint8_t* base = static_cast<const uint8_t*>(resources->map.data);
   Header header;
   std::memcpy(&header, base, sizeof(header));
   if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
@@ -580,10 +662,10 @@ StatusOr<std::unique_ptr<Snapshot>> Snapshot::Open(
         "snapshot written with a different byte order; re-save on this "
         "architecture");
   }
-  if (header.file_size != snapshot->map_size_) {
+  if (header.file_size != resources->map.size) {
     return Status::Invalid("snapshot file truncated: header records " +
                            std::to_string(header.file_size) + " bytes, file "
-                           "has " + std::to_string(snapshot->map_size_));
+                           "has " + std::to_string(resources->map.size));
   }
   if (header.toc_offset < kHeaderSize ||
       header.toc_offset > header.file_size ||
@@ -592,7 +674,7 @@ StatusOr<std::unique_ptr<Snapshot>> Snapshot::Open(
   }
   if (options.verify_checksum) {
     const uint64_t got = Fnv1a64(base + kHeaderSize,
-                                 snapshot->map_size_ - kHeaderSize);
+                                 resources->map.size - kHeaderSize);
     if (got != header.checksum) {
       return Status::Invalid("snapshot checksum mismatch (file corrupt)");
     }
@@ -601,7 +683,8 @@ StatusOr<std::unique_ptr<Snapshot>> Snapshot::Open(
   Reader reader(base, static_cast<size_t>(header.toc_offset),
                 static_cast<size_t>(header.toc_size));
 
-  snapshot->store_ = std::make_unique<ShardedStore>(header.shard_count);
+  snapshot->store_ = std::make_shared<ShardedStore>(header.shard_count);
+  snapshot->store_->set_keepalive(resources);
   DocumentStore* store = snapshot->store_->mutable_store();
   STANDOFF_RETURN_IF_ERROR(
       SnapshotIO::LoadNames(&reader, store->mutable_names()));
@@ -610,6 +693,7 @@ StatusOr<std::unique_ptr<Snapshot>> Snapshot::Open(
   STANDOFF_RETURN_IF_ERROR(reader.GetU32(&doc_count));
   for (uint32_t i = 0; i < doc_count; ++i) {
     auto doc = std::make_unique<Document>();
+    doc->keepalive = resources;
     std::string_view name, blob;
     STANDOFF_RETURN_IF_ERROR(reader.GetStr(&name));
     doc->name.assign(name.data(), name.size());
@@ -628,7 +712,7 @@ StatusOr<std::unique_ptr<Snapshot>> Snapshot::Open(
 
   uint32_t index_count;
   STANDOFF_RETURN_IF_ERROR(reader.GetU32(&index_count));
-  snapshot->indexes_.reserve(index_count);
+  resources->indexes.reserve(index_count);
   for (uint32_t i = 0; i < index_count; ++i) {
     uint32_t doc;
     STANDOFF_RETURN_IF_ERROR(reader.GetU32(&doc));
@@ -647,11 +731,17 @@ StatusOr<std::unique_ptr<Snapshot>> Snapshot::Open(
     config.type.assign(type.data(), type.size());
     StatusOr<so::RegionIndex> index = SnapshotIO::LoadRegionIndex(&reader);
     if (!index.ok()) return index.status();
-    snapshot->indexes_.push_back(
+    resources->indexes.push_back(
         std::make_unique<so::RegionIndex>(index.MoveValueUnsafe()));
+    // Aliasing shared_ptr: holding the index holds the whole resource
+    // block, so a preloaded-index entry copied out of the Document
+    // keeps the mapped columns it borrows alive on its own.
     store->mutable_document(doc)->preloaded_indexes.emplace_back(
-        so::ConfigFingerprint(config), snapshot->indexes_.back().get());
+        so::ConfigFingerprint(config),
+        std::shared_ptr<const so::RegionIndex>(
+            resources, resources->indexes.back().get()));
   }
+  snapshot->region_index_count_ = resources->indexes.size();
   if (!reader.exhausted()) {
     return Status::Invalid("snapshot TOC has trailing bytes");
   }

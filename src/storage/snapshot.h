@@ -60,8 +60,12 @@ struct SnapshotWriteOptions {
   ThreadPool* pool = nullptr;
 };
 
-/// Serializes `store` to `path` (atomically: written to "<path>.tmp",
-/// then renamed). shard_count is preserved.
+/// Serializes `store` to `path` — durably and atomically: bytes are
+/// written to "<path>.tmp", fsync'd, renamed over the final name, and
+/// the parent directory is fsync'd. A crash or full disk mid-save
+/// leaves the previous generation at `path` untouched; a reader never
+/// sees a truncated file under the final name. shard_count is
+/// preserved.
 Status SaveSnapshot(const ShardedStore& store, const std::string& path,
                     const SnapshotWriteOptions& options = {});
 
@@ -76,15 +80,26 @@ struct SnapshotOpenOptions {
   bool verify_checksum = true;
 };
 
-/// An open snapshot: owns the file mapping, the store built over it,
-/// and the preloaded region indexes. The store and every view derived
-/// from it are valid exactly as long as this object lives.
+/// An open snapshot. The file mapping, the store built over it, and
+/// the preloaded region indexes live in one refcounted resource block:
+/// this object holds a reference, and so does every
+/// std::shared_ptr<const ShardedStore> handed out by shared_store().
+/// Destroying the Snapshot while such a reference (or a preloaded
+/// index shared_ptr copied out of a Document) is still live is safe —
+/// the mapping is unmapped only when the last reference drops. That is
+/// the hot-swap drain contract: publish the new generation's shared
+/// store, destroy the old Snapshot, and in-flight queries finish over
+/// the old mapping before it closes.
+///
+/// Raw references obtained through sharded_store()/store() are NOT
+/// keepalives; they are valid only while this object (or a shared
+/// store pointer) lives.
 class Snapshot {
  public:
   static StatusOr<std::unique_ptr<Snapshot>> Open(
       const std::string& path, const SnapshotOpenOptions& options = {});
 
-  ~Snapshot();
+  ~Snapshot() = default;
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
 
@@ -93,24 +108,20 @@ class Snapshot {
   const DocumentStore& store() const { return store_->store(); }
   uint32_t shard_count() const { return store_->shard_count(); }
 
-  size_t file_size() const { return map_size_; }
-  size_t region_index_count() const { return indexes_.size(); }
+  /// Shared ownership of the store: copies keep the store, its
+  /// preloaded indexes, AND the file mapping alive after this Snapshot
+  /// is gone.
+  std::shared_ptr<const ShardedStore> shared_store() const { return store_; }
+
+  size_t file_size() const { return file_size_; }
+  size_t region_index_count() const { return region_index_count_; }
 
  private:
   Snapshot() = default;
 
-  // Declared before the store/indexes so it is destroyed AFTER them
-  // (members destruct in reverse order) — not load-bearing, since
-  // borrowed columns never touch their bytes on destruction, but it
-  // keeps the lifetime story simple.
-  void* map_ = nullptr;
-  size_t map_size_ = 0;
-  bool heap_fallback_ = false;  // non-POSIX: file read into heap memory
-
-  std::unique_ptr<ShardedStore> store_;
-  std::vector<std::unique_ptr<so::RegionIndex>> indexes_;
-
-  friend class SnapshotIO;
+  std::shared_ptr<ShardedStore> store_;
+  size_t file_size_ = 0;
+  size_t region_index_count_ = 0;
 };
 
 }  // namespace storage

@@ -1,0 +1,246 @@
+// Snapshot hot-swap under load: while client threads hammer the
+// server, the main thread swaps to a second snapshot. Every reply must
+// be internally consistent with the generation stamped on it — the
+// payload bytes of a reply tagged generation G must be byte-identical
+// to a cold query against generation G's snapshot file — and the swap
+// must never produce a crash, a torn result, or a stalled query. This
+// is the end-to-end exercise of the refcounted mapping-lifetime
+// contract (tests/test_snapshot_lifetime.cc proves the memory side).
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/snapshot.h"
+#include "tests/harness.h"
+
+using namespace standoff;
+
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string("/tmp/standoff_test_") + name + "_" +
+         std::to_string(::getpid()) + ".sosnap";
+}
+
+std::string PlayXml(uint64_t seed, int scenes) {
+  Rng rng(seed);
+  std::string xml = "<play>";
+  for (int s = 0; s < scenes; ++s) {
+    const int64_t base = s * 1000;
+    xml += "<scene start=\"" + std::to_string(base) + "\" end=\"" +
+           std::to_string(base + 999) + "\"/>";
+    for (int p = 0; p < 4; ++p) {
+      const int64_t sp = base + rng.UniformRange(0, 800);
+      xml += "<speech start=\"" + std::to_string(sp) + "\" end=\"" +
+             std::to_string(sp + 150) + "\"/>";
+      for (int w = 0; w < 5; ++w) {
+        const int64_t ws = sp + rng.UniformRange(0, 140);
+        xml += "<word start=\"" + std::to_string(ws) + "\" end=\"" +
+               std::to_string(ws + 6) + "\"/>";
+      }
+    }
+  }
+  xml += "</play>";
+  return xml;
+}
+
+std::string BuildSnapshotFile(const char* name, uint64_t seed, int scenes) {
+  storage::ShardedStore store(2);
+  for (int d = 0; d < 3; ++d) {
+    CHECK_OK(store.AddDocumentText("d" + std::to_string(d),
+                                   PlayXml(seed + static_cast<uint64_t>(d),
+                                           scenes)));
+  }
+  const std::string path = TempPath(name);
+  CHECK_OK(storage::SaveSnapshot(store, path));
+  return path;
+}
+
+constexpr char kQuery[] =
+    "chain doc=0 ctx=scene steps=select-narrow:speech,select-narrow:word";
+
+/// Cold reference: a fresh server over `path`, one query, payload out.
+std::string ColdQueryPayload(const std::string& path) {
+  auto srv = server::Server::Start(path, {});
+  CHECK_OK(srv);
+  auto client = server::Client::Connect((*srv)->port());
+  CHECK_OK(client);
+  auto reply = (*client)->Query(kQuery);
+  CHECK_OK(reply);
+  CHECK(!reply->busy);
+  (*srv)->Stop();
+  return reply->payload;
+}
+
+}  // namespace
+
+static void TestHotSwapUnderLoad() {
+  const std::string path_a = BuildSnapshotFile("swap_a", 1000, 14);
+  const std::string path_b = BuildSnapshotFile("swap_b", 2000, 18);
+
+  server::ServerConfig config;
+  config.pool_workers = 2;
+  config.admission_capacity = 8;
+  auto srv = server::Server::Start(path_a, config);
+  CHECK_OK(srv);
+  const uint16_t port = (*srv)->port();
+
+  // generation -> the payload every reply of that generation must match.
+  constexpr int kThreads = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> gen2_replies{0};
+  // Per-thread observation map, merged after the join.
+  std::vector<std::map<uint64_t, std::string>> seen(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto client = server::Client::Connect(port);
+      CHECK_OK(client);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto reply = (*client)->Query(kQuery);
+        CHECK_OK(reply);
+        if (reply->busy) continue;
+        auto [it, inserted] =
+            seen[t].emplace(reply->generation, reply->payload);
+        if (!inserted) {
+          // Every reply of one generation is byte-identical.
+          CHECK(it->second == reply->payload);
+        }
+        if (reply->generation == 2) {
+          gen2_replies.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Let generation 1 serve some traffic, then swap under load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto swapped = (*srv)->SwapSnapshot(path_b);
+  CHECK_OK(swapped);
+  CHECK_EQ(*swapped, uint64_t{2});
+  // Deleting the old file is now safe: in-flight generation-1 queries
+  // read the (refcounted) mapping, not the path.
+  std::remove(path_a.c_str());
+
+  // Run until generation 2 demonstrably served queries.
+  for (int i = 0; i < 500 && gen2_replies.load() < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+  CHECK(gen2_replies.load() >= uint64_t{5});
+
+  const auto stats = (*srv)->stats();
+  CHECK_EQ(stats.generation, uint64_t{2});
+  CHECK_EQ(stats.swaps, uint64_t{1});
+  CHECK_EQ(stats.queries_error, uint64_t{0});
+  (*srv)->Stop();
+
+  // Byte-identical to cold queries: generation 2 against snapshot B
+  // (and generation 1 observations agree across threads).
+  const std::string cold_b = ColdQueryPayload(path_b);
+  bool saw_gen1 = false;
+  std::string gen1_payload;
+  for (const auto& per_thread : seen) {
+    auto gen2 = per_thread.find(2);
+    if (gen2 != per_thread.end()) CHECK(gen2->second == cold_b);
+    auto gen1 = per_thread.find(1);
+    if (gen1 != per_thread.end()) {
+      if (saw_gen1) {
+        CHECK(gen1->second == gen1_payload);
+      } else {
+        gen1_payload = gen1->second;
+        saw_gen1 = true;
+      }
+    }
+  }
+  CHECK(saw_gen1);
+  std::remove(path_b.c_str());
+}
+
+// Swap to a missing or corrupt file must fail without disturbing the
+// serving generation.
+static void TestSwapFailureLeavesServiceIntact() {
+  const std::string path = BuildSnapshotFile("swap_badfile", 3000, 10);
+  auto srv = server::Server::Start(path, {});
+  CHECK_OK(srv);
+  auto client = server::Client::Connect((*srv)->port());
+  CHECK_OK(client);
+
+  auto missing = (*client)->Swap("/tmp/standoff_no_such_file.sosnap");
+  CHECK(!missing.ok());
+
+  // Corrupt file: truncated copy of a real snapshot.
+  const std::string corrupt = TempPath("swap_corrupt");
+  {
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    std::FILE* out = std::fopen(corrupt.c_str(), "wb");
+    CHECK(in != nullptr && out != nullptr);
+    char buf[512];
+    const size_t n = std::fread(buf, 1, sizeof buf, in);
+    CHECK_EQ(std::fwrite(buf, 1, n, out), n);
+    std::fclose(in);
+    std::fclose(out);
+  }
+  auto bad = (*client)->Swap(corrupt);
+  CHECK(!bad.ok());
+
+  auto reply = (*client)->Query(kQuery);
+  CHECK_OK(reply);
+  CHECK_EQ(reply->generation, uint64_t{1});  // still generation 1
+  CHECK(reply->rows > 0);
+  const auto stats = (*srv)->stats();
+  CHECK_EQ(stats.swaps, uint64_t{0});
+  (*srv)->Stop();
+  std::remove(path.c_str());
+  std::remove(corrupt.c_str());
+}
+
+// Swap over the wire (kSwapReq), including saving a NEW snapshot while
+// the server is live and swapping to it.
+static void TestWireSwapToFreshlySavedSnapshot() {
+  const std::string path = BuildSnapshotFile("swap_wire", 4000, 10);
+  auto srv = server::Server::Start(path, {});
+  CHECK_OK(srv);
+  auto client = server::Client::Connect((*srv)->port());
+  CHECK_OK(client);
+
+  auto before = (*client)->Query(kQuery);
+  CHECK_OK(before);
+  CHECK_EQ(before->generation, uint64_t{1});
+
+  // Save a different corpus under a new name and swap to it.
+  const std::string path2 = TempPath("swap_wire_gen2");
+  {
+    storage::ShardedStore store(1);
+    CHECK_OK(store.AddDocumentText("solo", PlayXml(4242, 25)));
+    CHECK_OK(storage::SaveSnapshot(store, path2));
+  }
+  auto generation = (*client)->Swap(path2);
+  CHECK_OK(generation);
+  CHECK_EQ(*generation, uint64_t{2});
+
+  auto after = (*client)->Query(kQuery);
+  CHECK_OK(after);
+  CHECK_EQ(after->generation, uint64_t{2});
+  CHECK(after->payload != before->payload);  // different corpus
+  CHECK(after->payload == ColdQueryPayload(path2));
+  (*srv)->Stop();
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+int main() {
+  RUN_TEST(TestHotSwapUnderLoad);
+  RUN_TEST(TestSwapFailureLeavesServiceIntact);
+  RUN_TEST(TestWireSwapToFreshlySavedSnapshot);
+  TEST_MAIN();
+}

@@ -1,0 +1,182 @@
+// SaveSnapshot durability: overwriting an existing snapshot must be
+// all-or-nothing under crashes and full disks. The save path writes to
+// "<path>.tmp", fsyncs, then renames — so a writer that dies mid-write
+// (simulated here with RLIMIT_FSIZE in a forked child: the kernel
+// either kills it with SIGXFSZ or fails the write with EFBIG) leaves
+// the previous generation at the final name, byte-identical and
+// openable. Stale temp files from such deaths must neither confuse
+// Snapshot::Open nor block the next successful save.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/snapshot.h"
+#include "tests/harness.h"
+
+using namespace standoff;
+
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string("/tmp/standoff_test_") + name + "_" +
+         std::to_string(::getpid()) + ".sosnap";
+}
+
+std::string SoupXml(uint64_t seed, int words) {
+  Rng rng(seed);
+  std::string xml = "<play>";
+  for (int w = 0; w < words; ++w) {
+    const int64_t start = rng.UniformRange(0, 50000);
+    xml += "<word start=\"" + std::to_string(start) + "\" end=\"" +
+           std::to_string(start + rng.UniformRange(0, 30)) + "\"/>";
+  }
+  xml += "</play>";
+  return xml;
+}
+
+void BuildStore(storage::ShardedStore* store, uint64_t seed, int words) {
+  CHECK_OK(store->AddDocumentText("a.xml", SoupXml(seed, words)));
+  CHECK_OK(store->AddDocumentText("b.xml", SoupXml(seed + 1, words)));
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Forks a child that limits its own file size to `limit_bytes` and
+/// then tries to overwrite `path` with a snapshot of a LARGER store.
+/// `ignore_sigxfsz` picks the failure flavor: ignored -> the write
+/// fails with EFBIG and SaveSnapshot returns an error Status (child
+/// exits 0 iff the save failed); default -> the kernel kills the child
+/// mid-write with SIGXFSZ, the "crash while writing" case.
+void OverwriteInChildWithLimit(const std::string& path, rlim_t limit_bytes,
+                               bool ignore_sigxfsz, bool* child_died,
+                               bool* save_failed_cleanly) {
+  *child_died = false;
+  *save_failed_cleanly = false;
+  const pid_t pid = fork();
+  CHECK(pid >= 0);
+  if (pid == 0) {
+    if (ignore_sigxfsz) ::signal(SIGXFSZ, SIG_IGN);
+    struct rlimit lim{limit_bytes, limit_bytes};
+    if (setrlimit(RLIMIT_FSIZE, &lim) != 0) _exit(3);
+    storage::ShardedStore big(1);
+    // ~10x the first generation: guaranteed to trip the limit.
+    CHECK_OK(big.AddDocumentText("big.xml", SoupXml(99, 4000)));
+    const Status st = storage::SaveSnapshot(big, path);
+    _exit(st.ok() ? 2 : 0);
+  }
+  int wstatus = 0;
+  CHECK(waitpid(pid, &wstatus, 0) == pid);
+  if (WIFSIGNALED(wstatus)) {
+    CHECK_EQ(WTERMSIG(wstatus), SIGXFSZ);
+    *child_died = true;
+  } else {
+    CHECK(WIFEXITED(wstatus));
+    CHECK_EQ(WEXITSTATUS(wstatus), 0);  // 2 = save "succeeded": a bug
+    *save_failed_cleanly = WEXITSTATUS(wstatus) == 0;
+  }
+}
+
+}  // namespace
+
+// Crash mid-write (child killed by SIGXFSZ): the old generation at the
+// final path stays byte-identical and opens; only a stale .tmp is left.
+static void TestKilledMidWriteLeavesOldGenerationIntact() {
+  const std::string path = TempPath("kill_mid_write");
+  storage::ShardedStore store(2);
+  BuildStore(&store, 7, 300);
+  CHECK_OK(storage::SaveSnapshot(store, path));
+  const std::string old_bytes = ReadFile(path);
+  CHECK(old_bytes.size() > 4096);
+
+  bool died = false, clean = false;
+  OverwriteInChildWithLimit(path, 4096, /*ignore_sigxfsz=*/false, &died,
+                            &clean);
+  CHECK(died);  // the kernel killed the writer mid-write
+
+  CHECK(ReadFile(path) == old_bytes);
+  auto reopened = storage::Snapshot::Open(path);
+  CHECK_OK(reopened);
+  if (reopened.ok()) {
+    CHECK_EQ((*reopened)->store().document_count(), size_t{2});
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// Full disk reported as an error (EFBIG with SIGXFSZ ignored):
+// SaveSnapshot returns a non-OK Status, old generation intact, and the
+// failed save's temp file was cleaned up by the error path.
+static void TestFullDiskFailsCleanlyAndKeepsOldGeneration() {
+  const std::string path = TempPath("full_disk");
+  storage::ShardedStore store(2);
+  BuildStore(&store, 11, 300);
+  CHECK_OK(storage::SaveSnapshot(store, path));
+  const std::string old_bytes = ReadFile(path);
+
+  bool died = false, clean = false;
+  OverwriteInChildWithLimit(path, 4096, /*ignore_sigxfsz=*/true, &died,
+                            &clean);
+  CHECK(!died);
+  CHECK(clean);
+
+  CHECK(ReadFile(path) == old_bytes);
+  CHECK_OK(storage::Snapshot::Open(path));
+  // The clean error path unlinks its temp file.
+  CHECK(ReadFile(path + ".tmp").empty());
+  std::remove(path.c_str());
+}
+
+// A stale truncated "<path>.tmp" (a crashed writer's leftovers) does
+// not affect opening the published file, and the next save replaces
+// both the stale tmp and the old generation.
+static void TestStaleTmpIsIgnoredAndReplaced() {
+  const std::string path = TempPath("stale_tmp");
+  storage::ShardedStore gen1(1);
+  BuildStore(&gen1, 21, 200);
+  CHECK_OK(storage::SaveSnapshot(gen1, path));
+  const std::string gen1_bytes = ReadFile(path);
+
+  {  // fake a crashed writer: truncated garbage under the temp name
+    std::ofstream tmp(path + ".tmp", std::ios::binary | std::ios::trunc);
+    tmp.write(gen1_bytes.data(),
+              static_cast<std::streamsize>(gen1_bytes.size() / 3));
+  }
+  CHECK_OK(storage::Snapshot::Open(path));
+
+  storage::ShardedStore gen2(1);
+  BuildStore(&gen2, 22, 250);
+  CHECK_OK(storage::SaveSnapshot(gen2, path));
+  CHECK(ReadFile(path) != gen1_bytes);
+  auto reopened = storage::Snapshot::Open(path);
+  CHECK_OK(reopened);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// Save into an unwritable directory: clean error, nothing created.
+static void TestUnwritableDirectoryFailsCleanly() {
+  if (::geteuid() == 0) return;  // root ignores directory permissions
+  storage::ShardedStore store(1);
+  BuildStore(&store, 31, 50);
+  const Status st =
+      storage::SaveSnapshot(store, "/proc/definitely/not/writable.sosnap");
+  CHECK(!st.ok());
+}
+
+int main() {
+  RUN_TEST(TestKilledMidWriteLeavesOldGenerationIntact);
+  RUN_TEST(TestFullDiskFailsCleanlyAndKeepsOldGeneration);
+  RUN_TEST(TestStaleTmpIsIgnoredAndReplaced);
+  RUN_TEST(TestUnwritableDirectoryFailsCleanly);
+  TEST_MAIN();
+}
