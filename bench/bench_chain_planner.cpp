@@ -7,6 +7,11 @@
 //   * BM_ChainQueries — N chain queries over a sharded corpus: fresh
 //     engines per query (the un-amortized baseline) vs a warmed
 //     BatchEngine (shared indexes, candidate sets, arenas).
+//   * BM_BatchOverlapMix — an overlapping query mix (repeats + shared
+//     predicate prefixes) through the same warmed BatchEngine with
+//     sub-plan sharing off vs on; the regression gate holds the shared
+//     run at >= 1.3x the unshared one, and the memo's hit/miss/evict
+//     counters are reported.
 
 #include <benchmark/benchmark.h>
 
@@ -191,6 +196,97 @@ void BM_ChainQueries(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 
+/// The overlapping-mix batch: per document, queries that repeat and
+/// that share (ctx, first-step) prefixes with divergent tails — the
+/// shape the sub-plan memo exists for.
+std::vector<xquery::ChainQuery> OverlapMixQueries(
+    const std::vector<storage::DocId>& docs) {
+  using A = xquery::Axis;
+  std::vector<xquery::ChainQuery> queries;
+  for (storage::DocId doc : docs) {
+    const auto mk = [doc](std::vector<xquery::ChainStep> steps) {
+      xquery::ChainQuery q;
+      q.doc = doc;
+      q.context_name = "scene";
+      q.steps = std::move(steps);
+      return q;
+    };
+    queries.push_back(mk({{A::kSelectNarrow, false, "speech"},
+                          {A::kSelectNarrow, false, "word"}}));
+    queries.push_back(mk({{A::kSelectNarrow, false, "speech"},
+                          {A::kSelectWide, false, "word"}}));
+    queries.push_back(mk({{A::kSelectNarrow, false, "speech"},
+                          {A::kRejectNarrow, false, "word"}}));
+    queries.push_back(mk({{A::kSelectWide, false, "speech"},
+                          {A::kSelectNarrow, false, "word"}}));
+    queries.push_back(queries[queries.size() - 4]);  // exact repeats
+    queries.push_back(queries[queries.size() - 4]);
+  }
+  return queries;
+}
+
+/// Args: {share}. The overlapping mix through a warmed BatchEngine with
+/// sub-plan sharing on vs off — the within-run pair the regression gate
+/// holds at >= 1.3x. A one-time cross-check pins byte-identity between
+/// the two settings before timing starts.
+void BM_BatchOverlapMix(benchmark::State& state) {
+  const bool share = state.range(0) != 0;
+  storage::ShardedStore store(3);
+  std::vector<storage::DocId> docs;
+  for (int d = 0; d < 12; ++d) {
+    auto doc = store.AddDocumentText("d" + std::to_string(d), PlayXml(40));
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    docs.push_back(*doc);
+  }
+  const std::vector<xquery::ChainQuery> queries = OverlapMixQueries(docs);
+
+  xquery::EngineOptions options;
+  options.share_subplans = share;
+  xquery::BatchEngine engine(&store, options);
+
+  {
+    // Byte-identity cross-check against the opposite sharing setting,
+    // once per benchmark registration.
+    xquery::EngineOptions other = options;
+    other.share_subplans = !share;
+    xquery::BatchEngine reference(&store, other);
+    const auto got = engine.ExecuteChainBatch(queries);  // also warms caches
+    const auto want = reference.ExecuteChainBatch(queries);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!got[i].ok() || !want[i].ok() ||
+          !(got[i]->matches == want[i]->matches)) {
+        state.SkipWithError("sharing changed results");
+        return;
+      }
+    }
+  }
+
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = 0;
+    auto results = engine.ExecuteChainBatch(queries);
+    for (const auto& r : results) {
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      matches += r->matches.size();
+    }
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(queries.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+  const xquery::SubPlanMemoStats memo = engine.memo_stats();
+  state.counters["subplan_hits"] = static_cast<double>(memo.hits);
+  state.counters["subplan_misses"] = static_cast<double>(memo.misses);
+  state.counters["subplan_evictions"] = static_cast<double>(memo.evictions);
+  state.counters["subplan_entries"] = static_cast<double>(memo.entries);
+}
+
 }  // namespace
 
 BENCHMARK(BM_ChainOrder)
@@ -201,5 +297,6 @@ BENCHMARK(BM_ChainOrder)
     ->Args({200000, 2})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ChainQueries)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchOverlapMix)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

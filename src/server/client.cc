@@ -134,7 +134,9 @@ StatusOr<ServerStats> Client::Stats() {
   ServerStats stats;
   uint64_t* fields[] = {&stats.generation,           &stats.queries_ok,
                         &stats.queries_rejected,     &stats.queries_error,
-                        &stats.connections_accepted, &stats.swaps};
+                        &stats.connections_accepted, &stats.swaps,
+                        &stats.subplan_hits,         &stats.subplan_misses,
+                        &stats.subplan_evictions};
   for (uint64_t* field : fields) {
     auto value = TakeU64(reply->body, &off);
     if (!value.ok()) return value.status();

@@ -57,6 +57,21 @@ StatusOr<uint32_t> ParseU32(std::string_view token) {
   return static_cast<uint32_t>(value);
 }
 
+/// Fractional milliseconds -> seconds; strict (whole token must parse,
+/// value must be finite and >= 0). Fractions matter: deadline_ms=0.001
+/// is a microsecond budget, which deterministic timeout tests use to
+/// guarantee the first checkpoint trips.
+StatusOr<double> ParseDeadlineMs(std::string_view token) {
+  if (token.empty()) return Status::Invalid("empty deadline_ms value");
+  const std::string text(token);
+  char* end = nullptr;
+  const double ms = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || !(ms >= 0) || ms > 1e12) {
+    return Status::Invalid("bad deadline_ms '" + text + "'");
+  }
+  return ms / 1000.0;
+}
+
 StatusOr<ParsedQuery> ParseChain(std::string_view rest) {
   ParsedQuery parsed;
   parsed.kind = ParsedQuery::Kind::kChain;
@@ -110,6 +125,10 @@ StatusOr<ParsedQuery> ParseChain(std::string_view rest) {
     } else if (key == "type") {
       if (value.empty()) return Status::Invalid("empty type value");
       parsed.chain.standoff_type = std::string(value);
+    } else if (key == "deadline_ms") {
+      auto deadline = ParseDeadlineMs(value);
+      if (!deadline.ok()) return deadline.status();
+      parsed.deadline_seconds = *deadline;
     } else {
       return Status::Invalid("unknown chain key '" + std::string(key) + "'");
     }
@@ -138,13 +157,28 @@ StatusOr<ParsedQuery> ParseQueryText(std::string_view text) {
 
   const size_t space = text.find(' ');
   const std::string_view verb = text.substr(0, space);
-  const std::string_view rest =
+  std::string_view rest =
       space == std::string_view::npos ? std::string_view() : text.substr(space + 1);
   if (verb == "chain") return ParseChain(rest);
   if (verb == "flwor") {
-    if (rest.empty()) return Status::Invalid("flwor query has no text");
     ParsedQuery parsed;
     parsed.kind = ParsedQuery::Kind::kFlwor;
+    // Optional leading deadline field; everything after it is verbatim
+    // query text (which may itself contain '=').
+    constexpr std::string_view kDeadlineKey = "deadline_ms=";
+    if (rest.substr(0, kDeadlineKey.size()) == kDeadlineKey) {
+      const size_t space = rest.find(' ');
+      const std::string_view value = rest.substr(
+          kDeadlineKey.size(),
+          space == std::string_view::npos ? std::string_view::npos
+                                          : space - kDeadlineKey.size());
+      auto deadline = ParseDeadlineMs(value);
+      if (!deadline.ok()) return deadline.status();
+      parsed.deadline_seconds = *deadline;
+      rest = space == std::string_view::npos ? std::string_view()
+                                             : rest.substr(space + 1);
+    }
+    if (rest.empty()) return Status::Invalid("flwor query has no text");
     parsed.flwor = std::string(rest);
     return parsed;
   }

@@ -8,11 +8,18 @@
 //       annotated element (ctx=* likewise). Optional trailing
 //       type=<standoff_type> forwards ChainQuery::standoff_type.
 //
-//   flwor <xquery text>
-//       Everything after the first space is handed to Engine::Evaluate
-//       verbatim — the FLWOR subset with standoff axes, e.g.
+//   flwor [deadline_ms=<ms>] <xquery text>
+//       Everything after the first space (and the optional leading
+//       deadline_ms= field) is handed to Engine::Evaluate verbatim —
+//       the FLWOR subset with standoff axes, e.g.
 //       "count(/site/select-narrow::description)". Absolute paths bind
 //       to document 0, per the engine's convention.
+//
+// Both dialects accept deadline_ms=<ms> (chain: anywhere; flwor: only
+// as the first field): a per-query wall-clock deadline in fractional
+// milliseconds, checked at merge-pass block boundaries. A query past
+// its deadline is answered with a kError frame carrying the kTimedOut
+// status code.
 //
 // Parsing is strict: unknown keys, missing fields, malformed numbers,
 // and empty step lists are kInvalidArgument with a message naming the
@@ -35,6 +42,10 @@ struct ParsedQuery {
   Kind kind = Kind::kChain;
   xquery::ChainQuery chain;  // valid when kind == kChain
   std::string flwor;         // valid when kind == kFlwor
+  /// Per-query deadline in seconds, from the optional deadline_ms=
+  /// field (fractional milliseconds allowed). 0 = no per-query
+  /// deadline; the server's configured timeout still applies.
+  double deadline_seconds = 0;
 };
 
 StatusOr<ParsedQuery> ParseQueryText(std::string_view text);

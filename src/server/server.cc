@@ -169,6 +169,9 @@ ServerStats Server::stats() const {
   out.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
   out.swaps = swaps_.load(std::memory_order_relaxed);
+  out.subplan_hits = subplan_hits_.load(std::memory_order_relaxed);
+  out.subplan_misses = subplan_misses_.load(std::memory_order_relaxed);
+  out.subplan_evictions = subplan_evictions_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -338,19 +341,43 @@ bool Server::HandleQuery(int fd, ConnState* conn, const std::string& text) {
             "doc " + std::to_string(parsed.chain.doc) + " out of range (" +
             std::to_string(store->document_count()) + " documents)");
       } else {
-        auto chain = conn->engine
-                         ->shard_engine(store->shard_of(parsed.chain.doc))
-                         ->EvaluateChain(parsed.chain);
+        xquery::Engine* engine =
+            conn->engine->shard_engine(store->shard_of(parsed.chain.doc));
+        // Per-query deadline: the tighter of the request's deadline_ms
+        // and the server's configured timeout, restored afterwards
+        // (frames are serial per connection, so the engine is ours).
+        const double configured = config_.query_timeout_seconds;
+        if (parsed.deadline_seconds > 0) {
+          engine->mutable_options()->timeout_seconds =
+              configured > 0 ? std::min(configured, parsed.deadline_seconds)
+                             : parsed.deadline_seconds;
+        }
+        auto chain = engine->EvaluateChain(parsed.chain);
+        engine->mutable_options()->timeout_seconds = configured;
         if (chain.ok()) {
           payload = SerializeChain(*chain);
           rows = chain->matches.size();
+          subplan_hits_.fetch_add(chain->stats.memo_hits,
+                                  std::memory_order_relaxed);
+          subplan_misses_.fetch_add(chain->stats.memo_misses,
+                                    std::memory_order_relaxed);
+          subplan_evictions_.fetch_add(chain->stats.memo_evictions,
+                                       std::memory_order_relaxed);
         } else {
           status = chain.status();
         }
       }
     } else {
       kind = kKindFlwor;
-      auto flwor = conn->engine->shard_engine(0)->Evaluate(parsed.flwor);
+      xquery::Engine* engine = conn->engine->shard_engine(0);
+      const double configured = config_.query_timeout_seconds;
+      if (parsed.deadline_seconds > 0) {
+        engine->mutable_options()->timeout_seconds =
+            configured > 0 ? std::min(configured, parsed.deadline_seconds)
+                           : parsed.deadline_seconds;
+      }
+      auto flwor = engine->Evaluate(parsed.flwor);
+      engine->mutable_options()->timeout_seconds = configured;
       if (flwor.ok()) {
         payload = SerializeFlwor(*flwor);
         rows = flwor->items.size();
@@ -409,6 +436,9 @@ void Server::SendStats(int fd) {
   AppendU64(&body, stats.queries_error);
   AppendU64(&body, stats.connections_accepted);
   AppendU64(&body, stats.swaps);
+  AppendU64(&body, stats.subplan_hits);
+  AppendU64(&body, stats.subplan_misses);
+  AppendU64(&body, stats.subplan_evictions);
   WriteFrame(fd, MsgType::kStatsRep, body);
 }
 

@@ -69,6 +69,11 @@ struct ServerStats {
   uint64_t queries_error = 0;     // parse or execution failures
   uint64_t connections_accepted = 0;
   uint64_t swaps = 0;
+  /// Sub-plan memo probe outcomes summed over all chain queries (the
+  /// engine-level CSE of DESIGN.md §14).
+  uint64_t subplan_hits = 0;
+  uint64_t subplan_misses = 0;
+  uint64_t subplan_evictions = 0;
 };
 
 /// Bounded admission: TryEnter either reserves a slot or reports the
@@ -156,6 +161,9 @@ class Server {
   std::atomic<uint64_t> queries_error_{0};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> subplan_hits_{0};
+  std::atomic<uint64_t> subplan_misses_{0};
+  std::atomic<uint64_t> subplan_evictions_{0};
 };
 
 }  // namespace server

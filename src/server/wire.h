@@ -22,7 +22,8 @@
 //   kResultEnd     u64 server-side execution micros
 //   kPong          echo of the ping body
 //   kStatsRep      u64 generation, queries_ok, queries_rejected,
-//                  queries_error, connections_accepted, swaps
+//                  queries_error, connections_accepted, swaps,
+//                  subplan_hits, subplan_misses, subplan_evictions
 //   kSwapOk        u64 new generation
 //   kError         u8 status code, rest = message (query failed;
 //                  connection stays usable)

@@ -185,6 +185,9 @@ Status ParallelLoopLiftedStandoffJoinColumns(
   // has nothing to parallelize. Both take the serial kernel verbatim.
   if (options.join.trace != nullptr || !pool ||
       (blocks_wanted <= 1 && shards <= 1)) {
+    if (options.checkpoint) {
+      STANDOFF_RETURN_IF_ERROR((*options.checkpoint)());
+    }
     JoinOptions serial = options.join;
     ScopedArena arena(serial.arena == nullptr ? options.arenas : nullptr);
     if (serial.arena == nullptr) serial.arena = arena.get();
@@ -224,6 +227,9 @@ Status ParallelLoopLiftedStandoffJoinColumns(
 
   STANDOFF_RETURN_IF_ERROR(ParallelFor(
       pool, 0, cells, [&](size_t cell) -> Status {
+        if (options.checkpoint) {
+          STANDOFF_RETURN_IF_ERROR((*options.checkpoint)());
+        }
         const size_t b = cell / num_shards;
         const size_t s = cell % num_shards;
         const size_t shard_lo = candidates.size * s / num_shards;
@@ -270,6 +276,9 @@ Status ParallelLoopLiftedStandoffJoinColumns(
   std::vector<std::vector<IterMatch>> block_out(blocks.size());
   STANDOFF_RETURN_IF_ERROR(ParallelFor(
       pool, 0, blocks.size(), [&](size_t b) -> Status {
+        if (options.checkpoint) {
+          STANDOFF_RETURN_IF_ERROR((*options.checkpoint)());
+        }
         std::vector<uint64_t> keys;
         size_t total = 0;
         for (size_t s = 0; s < num_shards; ++s) {

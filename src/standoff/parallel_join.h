@@ -23,6 +23,7 @@
 #ifndef STANDOFF_STANDOFF_PARALLEL_JOIN_H_
 #define STANDOFF_STANDOFF_PARALLEL_JOIN_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -50,6 +51,12 @@ struct ParallelJoinOptions {
   /// `join.arena` is only honored on the serial path — parallel cells
   /// draw from `arenas` instead.
   JoinOptions join;
+  /// Deadline check, invoked at merge-pass block boundaries: once
+  /// before the serial kernel, and at the start of every (block, shard)
+  /// cell and block-merge task on the parallel path. A non-OK status
+  /// aborts the join with that status. Must be safe to call
+  /// concurrently from pool workers. Null means never.
+  const std::function<Status()>* checkpoint = nullptr;
 };
 
 /// Parallel loop-lifted join over candidate columns. Same contract and

@@ -26,6 +26,15 @@
 //     to be output-bounded (sparse matches), off when the pass is
 //     dense and the binary searches would outnumber the rows skipped.
 //
+// DagSpec/PlanDag/ExecuteDag generalize the linear chain to a DAG of
+// predicate prefixes over one shared context: a sub-chain referenced by
+// several branches is planned and evaluated ONCE, its matches fanned
+// out to every consumer, and the cost model prices shared nodes once
+// (est_cost vs est_cost_unshared). SubPlanMemo adds cross-execution
+// reuse: evaluated (doc, layer, predicate-prefix) results live in a
+// refcounted, capacity-bounded LRU memo keyed by canonical key strings
+// with full-key verification on every hit.
+//
 // Every order and option combination returns byte-identical results:
 // the planner only moves work, never semantics — pinned by the chain
 // differential suite against the brute-force oracle.
@@ -34,7 +43,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -123,14 +135,82 @@ struct ChainStats {
   size_t bottom_up_kept_rows = 0;  // filtered middle-layer rows kept
   size_t bottom_up_dropped_rows = 0;
   size_t composed_matches = 0;     // low-edge matches visited in compose
+  /// Sub-plan memo probe outcomes for this execution (engine CSE path
+  /// and memo-keyed DAG nodes): probes served from cache, probes that
+  /// had to evaluate, and entries evicted while this execution ran.
+  size_t memo_hits = 0;
+  size_t memo_misses = 0;
+  size_t memo_evictions = 0;
+  /// DAG execution only: nodes whose one evaluation fed >= 2 branches.
+  size_t shared_nodes = 0;
+};
+
+/// Memo of evaluated sub-plan results, keyed by a canonical key string
+/// naming (doc, standoff type, context, predicate prefix). Lookup
+/// hashes the key for bucketing but ALWAYS compares the stored full
+/// key before returning a hit, so two structurally hash-colliding but
+/// semantically different sub-plans can never alias (pinned by the
+/// memo-poisoning regression test). Entries are refcounted
+/// (shared_ptr): a consumer holding a result keeps it alive across
+/// eviction. Capacity-bounded with LRU eviction. NOT thread-safe —
+/// each engine owns one and probes it from one thread at a time.
+class SubPlanMemo {
+ public:
+  struct Entry {
+    std::vector<IterMatch> matches;  // the sub-plan's final matches
+  };
+
+  explicit SubPlanMemo(size_t capacity = 256)
+      : capacity_(capacity ? capacity : 1) {}
+
+  /// Null on miss. A hit refreshes the entry's LRU position.
+  std::shared_ptr<const Entry> Lookup(const std::string& key);
+  /// Inserts (or replaces) `key`, evicting the least-recently-used
+  /// entry when over capacity.
+  void Insert(const std::string& key, std::shared_ptr<const Entry> entry);
+  void Clear();
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t evictions() const { return evictions_; }
+
+  /// Test hook: collapse every key's hash into one bucket, so every
+  /// pair of keys structurally collides — correctness must then come
+  /// entirely from the full-key compare.
+  void set_collide_for_test(bool on) { collide_ = on; }
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const Entry> entry;
+  };
+  using LruIter = std::list<Node>::iterator;
+
+  uint64_t HashKey(const std::string& key) const;
+  void Unbucket(uint64_t hash, LruIter it);
+
+  size_t capacity_;
+  bool collide_ = false;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::vector<LruIter>> by_hash_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
 };
 
 struct ChainExecOptions {
   /// Thread-pool decomposition and kernel defaults for every join in
   /// the chain; each edge's plan overrides `parallel.join.gallop`.
   ParallelJoinOptions parallel;
-  /// Called between joins (deadline checks); null means never.
+  /// Called between joins AND at merge-pass block boundaries inside
+  /// each join (deadline checks); null means never. Must be safe to
+  /// invoke concurrently from pool workers.
   const std::function<Status()>* checkpoint = nullptr;
+  /// Sub-plan memo consulted/populated by ExecuteDag for nodes with a
+  /// non-empty memo_key; null disables memoization.
+  SubPlanMemo* memo = nullptr;
 };
 
 /// Cost-based plan for `spec` under `mode`. Pure estimation — never
@@ -143,6 +223,66 @@ ChainPlan PlanChain(const ChainSpec& spec, PlanMode mode = PlanMode::kAuto);
 Status ExecuteChain(const ChainSpec& spec, const ChainPlan& plan,
                     const ChainExecOptions& options,
                     std::vector<IterMatch>* out, ChainStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// DAG chain plans: several chains over ONE shared context, with shared
+// sub-chains evaluated once.
+// ---------------------------------------------------------------------------
+
+/// One predicate node of a DAG plan. Nodes form a prefix tree over the
+/// shared context: a sub-chain referenced by several branches appears
+/// once and its join runs once, its matches fanned out to every child
+/// edge and every consumer output. (The consuming queries' plans form a
+/// DAG over sub-chains; because a node's identity is its full predicate
+/// prefix, the shared structure itself is a tree of nodes.)
+struct DagNode {
+  /// Index of the node whose matches provide this node's context rows;
+  /// -1 roots the node at the DAG's shared context. Parents must
+  /// precede children (topological order).
+  int32_t parent = -1;
+  ChainEdge edge;
+  /// >= 0 publishes this node's matches as outputs[output].
+  int32_t output = -1;
+  /// Non-empty + ChainExecOptions::memo set: the node's matches are
+  /// served from / inserted into the memo under this canonical key.
+  std::string memo_key;
+};
+
+struct DagSpec {
+  std::vector<IterRegion> context;
+  std::vector<uint32_t> ann_iters;
+  uint32_t iter_count = 0;
+  storage::RegionStats context_stats;  // over the context rows
+  std::vector<DagNode> nodes;          // parents precede children
+  size_t output_count = 0;
+};
+
+struct DagPlan {
+  std::vector<EdgePlan> edges;   // one per node, in node order
+  double est_cost = 0;           // every node priced ONCE (shared reuse)
+  /// The same work priced as independent linear chains: each node's
+  /// cost multiplied by the number of outputs consuming it. The
+  /// planner's reuse accounting is exactly est_cost <= est_cost_unshared.
+  double est_cost_unshared = 0;
+
+  std::string Describe() const;
+};
+
+/// Cost-based plan for a DAG: per-node gallop choice against the
+/// parent's estimated output, shared nodes priced once. Pure
+/// estimation, like PlanChain.
+DagPlan PlanDag(const DagSpec& spec);
+
+/// Executes the DAG: nodes in topological order, each node's join
+/// evaluated exactly once, derived context rows fanned out to all
+/// children, matches spliced into outputs[node.output]. Each output is
+/// byte-identical to executing its root-to-leaf path as a linear
+/// top-down chain. With ChainExecOptions::memo set, memo-keyed nodes
+/// are served from (or inserted into) the memo.
+Status ExecuteDag(const DagSpec& spec, const DagPlan& plan,
+                  const ChainExecOptions& options,
+                  std::vector<std::vector<IterMatch>>* outputs,
+                  ChainStats* stats = nullptr);
 
 }  // namespace so
 }  // namespace standoff

@@ -532,16 +532,190 @@ StatusOr<ChainResult> Engine::EvaluateChain(const ChainQuery& query) {
     return CheckDeadline();
   };
   exec.checkpoint = &checkpoint;
+  if (options_.share_subplans) {
+    // Canonical sub-plan keys: one per predicate prefix. The '\x1f'
+    // separator cannot occur in an XML name and '*' is not a valid
+    // name, so the encoding is injective — two different prefixes can
+    // never produce the same key.
+    std::vector<std::string> keys(spec.edges.size());
+    std::string prefix = std::to_string(query.doc);
+    prefix += '\x1f';
+    prefix += standoff_config_.type;
+    prefix += '\x1f';
+    prefix += query.context_any ? "*" : query.context_name;
+    for (size_t k = 0; k < query.steps.size(); ++k) {
+      const ChainStep& step = query.steps[k];
+      prefix += '\x1f';
+      prefix += so::StandoffOpName(AxisToOp(step.axis));
+      prefix += ':';
+      prefix += step.any_name ? "*" : step.name;
+      keys[k] = prefix;
+    }
+    STANDOFF_RETURN_IF_ERROR(
+        EvaluateChainShared(spec, **index, keys, exec, &result));
+    return result;
+  }
   STANDOFF_RETURN_IF_ERROR(so::ExecuteChain(spec, result.plan, exec,
                                             &result.matches, &result.stats));
   return result;
+}
+
+namespace {
+
+/// Matched nodes back to context rows (the plan layer's
+/// MatchesToContext, replicated over the engine's region index):
+/// matches arrive sorted by (iter, pre), so the rows come out sorted by
+/// iteration as the kernels require.
+void DeriveContext(const std::vector<so::IterMatch>& matches,
+                   const so::RegionIndex& index,
+                   std::vector<so::IterRegion>* ctx,
+                   std::vector<uint32_t>* ann_iters) {
+  ctx->clear();
+  ann_iters->clear();
+  for (const so::IterMatch& m : matches) {
+    index.ForEachRegionOf(m.pre, [&](int64_t start, int64_t end) {
+      const uint32_t ann = static_cast<uint32_t>(ann_iters->size());
+      ann_iters->push_back(m.iter);
+      ctx->push_back(so::IterRegion{m.iter, start, end, ann});
+    });
+  }
+}
+
+storage::RegionStats ContextStats(const std::vector<so::IterRegion>& ctx) {
+  std::vector<int64_t> starts, ends;
+  starts.reserve(ctx.size());
+  ends.reserve(ctx.size());
+  for (const so::IterRegion& r : ctx) {
+    starts.push_back(r.start);
+    ends.push_back(r.end);
+  }
+  return storage::RegionStats::Compute(starts.data(), ends.data(),
+                                       starts.size());
+}
+
+}  // namespace
+
+Status Engine::EvaluateChainShared(const so::ChainSpec& spec,
+                                   const so::RegionIndex& index,
+                                   const std::vector<std::string>& keys,
+                                   const so::ChainExecOptions& exec,
+                                   ChainResult* result) {
+  if (!subplan_memo_) {
+    subplan_memo_ =
+        std::make_unique<so::SubPlanMemo>(options_.subplan_memo_capacity);
+  }
+  so::SubPlanMemo* memo = subplan_memo_.get();
+  const size_t hits0 = memo->hits();
+  const size_t misses0 = memo->misses();
+  const size_t evictions0 = memo->evictions();
+  const size_t n = spec.edges.size();
+
+  // Longest cached prefix: probe the full chain first, then shrink.
+  size_t p = n;
+  std::shared_ptr<const so::SubPlanMemo::Entry> cached;
+  for (; p > 0; --p) {
+    cached = memo->Lookup(keys[p - 1]);
+    if (cached) break;
+  }
+
+  so::ChainStats total;
+  std::vector<so::IterMatch> matches;
+  if (cached) matches = cached->matches;  // splice the shared result
+
+  if (p < n) {
+    // Execute the remaining suffix. Its context is the cached prefix's
+    // matches mapped back to rows (or the original context when
+    // nothing was cached), and its stats are computed over those REAL
+    // rows — the suffix is planned against materialized cardinalities,
+    // not the top-of-chain estimates.
+    std::vector<so::IterRegion> ctx_buf;
+    std::vector<uint32_t> iter_buf;
+    so::ChainSpec suffix;
+    suffix.iter_count = spec.iter_count;
+    if (p == 0) {
+      suffix.context = spec.context;
+      suffix.ann_iters = spec.ann_iters;
+      suffix.context_stats = spec.context_stats;
+    } else {
+      DeriveContext(matches, index, &ctx_buf, &iter_buf);
+      suffix.context = std::move(ctx_buf);
+      suffix.ann_iters = std::move(iter_buf);
+      suffix.context_stats = ContextStats(suffix.context);
+    }
+    for (size_t e = p; e < n; ++e) suffix.edges.push_back(spec.edges[e]);
+    const so::ChainPlan suffix_plan =
+        so::PlanChain(suffix, options_.plan_mode);
+
+    so::ChainExecOptions suffix_exec = exec;
+    suffix_exec.memo = memo;
+    if (suffix_plan.order == so::ChainOrder::kBottomUpLast) {
+      // Bottom-up never materializes the intermediate prefixes, so
+      // only the full chain's result can be memoized.
+      so::ChainStats stats;
+      STANDOFF_RETURN_IF_ERROR(
+          so::ExecuteChain(suffix, suffix_plan, suffix_exec, &matches, &stats));
+      total.joins_run += stats.joins_run;
+      total.context_rows_total += stats.context_rows_total;
+      total.bottom_up_kept_rows += stats.bottom_up_kept_rows;
+      total.bottom_up_dropped_rows += stats.bottom_up_dropped_rows;
+      total.composed_matches += stats.composed_matches;
+      auto entry = std::make_shared<so::SubPlanMemo::Entry>();
+      entry->matches = matches;
+      memo->Insert(keys[n - 1], std::move(entry));
+    } else {
+      // Top-down: run edge by edge — exactly what ExecuteChain's
+      // top-down path does internally, so results are byte-identical —
+      // and memoize every newly evaluated prefix along the way.
+      for (size_t e = p; e < n; ++e) {
+        so::ChainSpec one;
+        one.iter_count = spec.iter_count;
+        one.context_stats = suffix.context_stats;
+        if (e == p) {
+          one.context = std::move(suffix.context);
+          one.ann_iters = std::move(suffix.ann_iters);
+        } else {
+          DeriveContext(matches, index, &one.context, &one.ann_iters);
+          one.context_stats = ContextStats(one.context);
+        }
+        one.edges.push_back(spec.edges[e]);
+        const so::ChainPlan one_plan = so::PlanChain(one, so::PlanMode::kTopDown);
+        so::ChainStats stats;
+        STANDOFF_RETURN_IF_ERROR(
+            so::ExecuteChain(one, one_plan, suffix_exec, &matches, &stats));
+        total.joins_run += stats.joins_run;
+        total.context_rows_total += stats.context_rows_total;
+        auto entry = std::make_shared<so::SubPlanMemo::Entry>();
+        entry->matches = matches;
+        memo->Insert(keys[e], std::move(entry));
+      }
+    }
+  }
+
+  result->matches = std::move(matches);
+  total.memo_hits = memo->hits() - hits0;
+  total.memo_misses = memo->misses() - misses0;
+  total.memo_evictions = memo->evictions() - evictions0;
+  result->stats = total;
+  return Status::OK();
 }
 
 std::vector<StatusOr<algebra::QueryResult>> Engine::EvaluateBatch(
     const std::vector<std::string>& queries) {
   std::vector<StatusOr<algebra::QueryResult>> results;
   results.reserve(queries.size());
-  for (const std::string& query : queries) results.push_back(Evaluate(query));
+  // Batch-level CSE at the whole-query granularity: evaluation over an
+  // immutable store is deterministic, so a repeated query text inside
+  // one batch reuses the first occurrence's result.
+  std::map<std::string, size_t> first_slot;
+  for (const std::string& query : queries) {
+    const auto it = first_slot.find(query);
+    if (it != first_slot.end() && options_.share_subplans) {
+      results.push_back(results[it->second]);
+      continue;
+    }
+    if (it == first_slot.end()) first_slot.emplace(query, results.size());
+    results.push_back(Evaluate(query));
+  }
   return results;
 }
 
@@ -558,6 +732,20 @@ Engine* BatchEngine::shard_engine(uint32_t shard) {
     *engines_[shard]->mutable_options() = options_;
   }
   return engines_[shard].get();
+}
+
+SubPlanMemoStats BatchEngine::memo_stats() const {
+  SubPlanMemoStats total;
+  for (const auto& engine : engines_) {
+    if (!engine) continue;
+    const so::SubPlanMemo* memo = engine->subplan_memo();
+    if (!memo) continue;
+    total.hits += memo->hits();
+    total.misses += memo->misses();
+    total.evictions += memo->evictions();
+    total.entries += memo->size();
+  }
+  return total;
 }
 
 std::vector<StatusOr<ChainResult>> BatchEngine::ExecuteChainBatch(

@@ -80,6 +80,16 @@ struct EngineOptions {
   /// Chain-planner order selection (EvaluateChain only): kAuto
   /// cost-compares; the forced modes pin an order for testing.
   so::PlanMode plan_mode = so::PlanMode::kAuto;
+  /// Cross-query sub-plan sharing (EvaluateChain): canonical
+  /// (doc, type, context, predicate-prefix) keys are probed against the
+  /// engine's SubPlanMemo; the longest cached prefix's matches replace
+  /// re-evaluating that prefix, and the suffix is re-planned against
+  /// the MATERIALIZED cardinalities of the cached result. Results are
+  /// byte-identical to evaluation with sharing off (differential-
+  /// pinned). Off = every chain evaluates from scratch.
+  bool share_subplans = true;
+  /// Memo capacity in sub-plan entries (LRU beyond it).
+  size_t subplan_memo_capacity = 256;
 };
 
 /// One predicate step of a multi-predicate chain query: a StandOff axis
@@ -132,6 +142,11 @@ class Engine {
   void set_standoff_mode(StandoffMode mode) { mode_ = mode; }
   StandoffMode standoff_mode() const { return mode_; }
   EngineOptions* mutable_options() { return &options_; }
+
+  /// The engine's sub-plan memo (created on first sharing-enabled
+  /// chain), for counter inspection and Clear() in tests/benches. May
+  /// be null when no shared chain has run yet.
+  so::SubPlanMemo* subplan_memo() { return subplan_memo_.get(); }
 
  private:
   struct Env;  // variable bindings, defined in engine.cc
@@ -195,6 +210,17 @@ class Engine {
   bool NameMatches(const Step& step, storage::DocId doc,
                    storage::Pre pre) const;
 
+  /// The sharing path of EvaluateChain: probe the memo for the longest
+  /// cached predicate prefix, execute only the suffix (re-planned over
+  /// the cached result's real cardinalities), and populate the memo
+  /// with every newly evaluated prefix. `keys[k]` is the canonical key
+  /// of the prefix ending at edge k.
+  Status EvaluateChainShared(const so::ChainSpec& spec,
+                             const so::RegionIndex& index,
+                             const std::vector<std::string>& keys,
+                             const so::ChainExecOptions& exec,
+                             ChainResult* result);
+
   /// The worker pool backing ExecOptions::num_threads, created lazily
   /// and resized when the option changes. Null when execution is
   /// serial.
@@ -220,8 +246,18 @@ class Engine {
   size_t pool_workers_ = 0;
   so::JoinArenaPool arena_pool_;
   std::map<storage::DocId, storage::RegionStats> index_stats_cache_;
+  std::unique_ptr<so::SubPlanMemo> subplan_memo_;
   Timer deadline_timer_;
   double deadline_seconds_ = 0;  // active budget for the running Evaluate
+};
+
+/// Aggregated sub-plan memo counters across a BatchEngine's shard
+/// engines — what the server's stats frame and the bench print.
+struct SubPlanMemoStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
 };
 
 /// Batched chain execution over a sharded store. Queries are grouped by
@@ -244,6 +280,9 @@ class BatchEngine {
   /// The per-shard engine (created on first use), for cache inspection
   /// in tests and for mode/option tweaks.
   Engine* shard_engine(uint32_t shard);
+
+  /// Sums memo counters over the shard engines created so far.
+  SubPlanMemoStats memo_stats() const;
 
  private:
   const storage::ShardedStore* store_;

@@ -458,6 +458,170 @@ static void TestBatchedIdenticalToSequential() {
   }
 }
 
+namespace {
+
+/// An overlapping query mix over one document: repeated queries,
+/// shared (ctx, first-step) prefixes with divergent tails, and a
+/// different context that must NOT share anything with the rest.
+std::vector<xquery::ChainQuery> OverlappingMix(storage::DocId doc) {
+  const auto mk = [doc](const std::string& ctx,
+                        std::vector<xquery::ChainStep> steps) {
+    xquery::ChainQuery q;
+    q.doc = doc;
+    q.context_name = ctx;
+    q.steps = std::move(steps);
+    return q;
+  };
+  using A = xquery::Axis;
+  std::vector<xquery::ChainQuery> queries;
+  queries.push_back(mk("scene", {{A::kSelectNarrow, false, "speech"},
+                                 {A::kSelectNarrow, false, "word"}}));
+  queries.push_back(mk("scene", {{A::kSelectNarrow, false, "speech"},
+                                 {A::kSelectWide, false, "word"}}));
+  queries.push_back(mk("scene", {{A::kSelectNarrow, false, "speech"}}));
+  queries.push_back(mk("scene", {{A::kSelectNarrow, false, "speech"},
+                                 {A::kRejectNarrow, false, "word"}}));
+  queries.push_back(queries[0]);  // exact repeat: full-chain memo hit
+  queries.push_back(mk("scene", {{A::kSelectWide, false, "speech"},
+                                 {A::kSelectNarrow, false, "word"}}));
+  queries.push_back(mk("speech", {{A::kSelectNarrow, false, "word"}}));
+  queries.push_back(queries[1]);  // another exact repeat
+  return queries;
+}
+
+}  // namespace
+
+static void TestSharedChainsIdenticalToUnshared() {
+  // Engine-level CSE: a warm engine answering an overlapping mix with
+  // sub-plan sharing ON must be byte-identical to a sharing-OFF engine,
+  // for every plan mode × threads × shards — and the memo must actually
+  // be hit (this is a differential test of the fast path, not of a
+  // disabled one).
+  for (const std::string& xml :
+       {NestedPlay(5), DuplicateSets(), RandomSoup(21), RandomSoup(22)}) {
+    storage::DocumentStore store;
+    auto doc = store.AddDocumentText("play.xml", xml);
+    CHECK_OK(doc);
+    const std::vector<xquery::ChainQuery> queries = OverlappingMix(*doc);
+    for (so::PlanMode mode : {so::PlanMode::kAuto, so::PlanMode::kTopDown,
+                              so::PlanMode::kBottomUpLast}) {
+      for (uint32_t threads : {1u, 4u}) {
+        for (uint32_t shards : {1u, 3u}) {
+          xquery::Engine shared(&store);
+          shared.mutable_options()->plan_mode = mode;
+          shared.mutable_options()->exec.num_threads = threads;
+          shared.mutable_options()->exec.shard_count = shards;
+          shared.mutable_options()->share_subplans = true;
+          size_t hits = 0;
+          for (const xquery::ChainQuery& query : queries) {
+            xquery::Engine unshared(&store);
+            *unshared.mutable_options() = *shared.mutable_options();
+            unshared.mutable_options()->share_subplans = false;
+            auto got = shared.EvaluateChain(query);
+            auto want = unshared.EvaluateChain(query);
+            CHECK_OK(got);
+            CHECK_OK(want);
+            if (!got.ok() || !want.ok()) continue;
+            CHECK(got->matches == want->matches);
+            CHECK(got->context_ids == want->context_ids);
+            hits += got->stats.memo_hits;
+          }
+          CHECK(hits > 0);
+        }
+      }
+    }
+  }
+}
+
+static void TestOverlappingBatchesSharedVsIndependent() {
+  // Batched-with-sharing vs sequential independent evaluation: the
+  // whole overlapping mix through BatchEngine (sharing on, warm across
+  // two consecutive batches) must be byte-identical to per-query fresh
+  // engines with sharing off, across plan modes × threads × shards.
+  const std::string xmls[] = {NestedPlay(5), DuplicateSets(), RandomSoup(31),
+                              ZeroOverlap(), RandomSoup(32), EmptyMiddle()};
+  for (uint32_t store_shards : {1u, 3u}) {
+    storage::ShardedStore store(store_shards);
+    std::vector<storage::DocId> docs;
+    for (const std::string& xml : xmls) {
+      auto doc = store.AddDocumentText("d" + std::to_string(docs.size()), xml);
+      CHECK_OK(doc);
+      docs.push_back(*doc);
+    }
+    std::vector<xquery::ChainQuery> queries;
+    for (storage::DocId doc : docs) {
+      for (const xquery::ChainQuery& q : OverlappingMix(doc)) {
+        queries.push_back(q);
+      }
+    }
+    for (so::PlanMode mode : {so::PlanMode::kAuto, so::PlanMode::kTopDown,
+                              so::PlanMode::kBottomUpLast}) {
+      for (uint32_t threads : {1u, 4u}) {
+        xquery::EngineOptions options;
+        options.plan_mode = mode;
+        options.exec.num_threads = threads;
+        options.exec.shard_count = store_shards;
+        options.share_subplans = true;
+        xquery::BatchEngine batch(&store, options);
+        for (int round = 0; round < 2; ++round) {  // round 2 is memo-warm
+          const auto batched = batch.ExecuteChainBatch(queries);
+          CHECK_EQ(batched.size(), queries.size());
+          for (size_t i = 0; i < queries.size(); ++i) {
+            xquery::Engine single(&store.store());
+            *single.mutable_options() = options;
+            single.mutable_options()->share_subplans = false;
+            auto expected = single.EvaluateChain(queries[i]);
+            CHECK_OK(expected);
+            CHECK_OK(batched[i]);
+            if (expected.ok() && batched[i].ok()) {
+              CHECK(batched[i]->matches == expected->matches);
+              CHECK(batched[i]->context_ids == expected->context_ids);
+            }
+          }
+        }
+        const xquery::SubPlanMemoStats memo = batch.memo_stats();
+        CHECK(memo.hits > 0);  // the mix's overlap actually shared work
+      }
+    }
+  }
+}
+
+static void TestMemoPoisoningRegression() {
+  // Force every canonical key into ONE hash bucket: prefixes that are
+  // structurally hash-colliding but semantically different must still
+  // get their own entries (the full-key compare), so answers stay
+  // byte-identical to sharing-off evaluation. Before the compare
+  // existed, this aliased different sub-plans and returned wrong rows.
+  storage::DocumentStore store;
+  auto doc = store.AddDocumentText("play.xml", NestedPlay(5));
+  CHECK_OK(doc);
+  xquery::Engine shared(&store);
+  shared.mutable_options()->share_subplans = true;
+  // The memo is created on the first shared chain; then collapse its
+  // hash so every subsequent key structurally collides.
+  CHECK_OK(shared.EvaluateChain(OverlappingMix(*doc)[0]));
+  CHECK(shared.subplan_memo() != nullptr);
+  shared.subplan_memo()->Clear();
+  shared.subplan_memo()->set_collide_for_test(true);
+  size_t hits = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (const xquery::ChainQuery& query : OverlappingMix(*doc)) {
+      xquery::Engine unshared(&store);
+      unshared.mutable_options()->share_subplans = false;
+      auto got = shared.EvaluateChain(query);
+      auto want = unshared.EvaluateChain(query);
+      CHECK_OK(got);
+      CHECK_OK(want);
+      if (got.ok() && want.ok()) {
+        CHECK(got->matches == want->matches);
+        CHECK(got->context_ids == want->context_ids);
+      }
+      if (got.ok()) hits += got->stats.memo_hits;
+    }
+  }
+  CHECK(hits > 0);  // collisions did not disable sharing, only aliasing
+}
+
 int main() {
   RUN_TEST(TestChainShapesAgainstOracle);
   RUN_TEST(TestXmarkDerivedChain);
@@ -465,5 +629,8 @@ int main() {
   RUN_TEST(TestAnyNameLayers);
   RUN_TEST(TestEvaluateBatchTextQueries);
   RUN_TEST(TestBatchedIdenticalToSequential);
+  RUN_TEST(TestSharedChainsIdenticalToUnshared);
+  RUN_TEST(TestOverlappingBatchesSharedVsIndependent);
+  RUN_TEST(TestMemoPoisoningRegression);
   TEST_MAIN();
 }

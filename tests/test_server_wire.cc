@@ -357,6 +357,71 @@ static void TestConnectionCap() {
   CHECK(reconnected);
 }
 
+// Per-query deadlines: a microsecond budget deterministically trips
+// the first merge-pass checkpoint (kError carrying kTimedOut), a
+// generous budget answers byte-identically to no deadline at all, and
+// a malformed deadline is a parse error. The connection survives all
+// of it.
+static void TestPerQueryDeadline() {
+  ServerFixture fx("wire_deadline");
+  auto client = fx.Connect();
+
+  auto timed_out = client->Query(
+      "chain doc=1 ctx=scene deadline_ms=0.000001 "
+      "steps=select-narrow:speech,select-narrow:word");
+  CHECK(!timed_out.ok());
+  CHECK(timed_out.status().code() == StatusCode::kTimedOut);
+
+  auto flwor_timed_out =
+      client->Query("flwor deadline_ms=0.000001 count(/play/select-narrow::word)");
+  CHECK(!flwor_timed_out.ok());
+  CHECK(flwor_timed_out.status().code() == StatusCode::kTimedOut);
+
+  auto bad = client->Query(
+      "chain doc=1 ctx=scene deadline_ms=abc steps=select-narrow:word");
+  CHECK(!bad.ok());
+  CHECK(bad.status().code() == StatusCode::kInvalidArgument);
+
+  auto generous = client->Query(
+      "chain doc=1 ctx=scene deadline_ms=60000 "
+      "steps=select-narrow:speech,select-narrow:word");
+  auto unlimited = client->Query(kChainQuery);
+  CHECK_OK(generous);
+  CHECK_OK(unlimited);
+  CHECK(generous->payload == unlimited->payload);
+  CHECK_EQ(generous->rows, unlimited->rows);
+
+  auto flwor_generous = client->Query(
+      "flwor deadline_ms=60000 count(/play/select-narrow::word)");
+  CHECK_OK(flwor_generous);
+  CHECK_OK(client->Ping());
+}
+
+// The stats frame's sub-plan memo counters: an overlapping pair of
+// chain queries on one connection must show memo hits once the second
+// query reuses the first one's prefix.
+static void TestStatsReportSubPlanCounters() {
+  ServerFixture fx("wire_subplan_stats");
+  auto client = fx.Connect();
+
+  auto before = client->Stats();
+  CHECK_OK(before);
+  CHECK_EQ(before->subplan_hits, uint64_t{0});
+
+  CHECK_OK(client->Query(kChainQuery));
+  auto first = client->Stats();
+  CHECK_OK(first);
+  CHECK(first->subplan_misses > 0);  // cold probes populate the memo
+
+  CHECK_OK(client->Query(kChainQuery));  // exact repeat: full-chain hit
+  CHECK_OK(client->Query(
+      "chain doc=1 ctx=scene steps=select-narrow:speech,select-wide:word"));
+  auto after = client->Stats();
+  CHECK_OK(after);
+  CHECK(after->subplan_hits > 0);
+  CHECK(after->subplan_misses >= first->subplan_misses);
+}
+
 int main() {
   RUN_TEST(TestPingAndQueryRoundTrip);
   RUN_TEST(TestFlworQuery);
@@ -366,5 +431,7 @@ int main() {
   RUN_TEST(TestBackpressureRejectsWhenFull);
   RUN_TEST(TestBackpressureUnderConcurrency);
   RUN_TEST(TestConnectionCap);
+  RUN_TEST(TestPerQueryDeadline);
+  RUN_TEST(TestStatsReportSubPlanCounters);
   TEST_MAIN();
 }
