@@ -12,6 +12,11 @@
 //     sub-plan sharing off vs on; the regression gate holds the shared
 //     run at >= 1.3x the unshared one, and the memo's hit/miss/evict
 //     counters are reported.
+//   * BM_DeltaMergeOverhead — the same batch through an engine over a
+//     MutableStore view carrying 0 / 1% / 10% delta rows vs directly
+//     over the base store. The 0-delta row is the mutable-store "free
+//     when unused" claim (DESIGN.md §15): the regression gate holds it
+//     within 10% of the pure-base row.
 
 #include <benchmark/benchmark.h>
 
@@ -21,6 +26,7 @@
 
 #include "common/rng.h"
 #include "standoff/plan.h"
+#include "storage/delta.h"
 #include "storage/sharded_store.h"
 #include "xquery/engine.h"
 
@@ -287,6 +293,88 @@ void BM_BatchOverlapMix(benchmark::State& state) {
   state.counters["subplan_entries"] = static_cast<double>(memo.entries);
 }
 
+/// Args: {use_view, delta_permille}. The BM_ChainQueries batch through
+/// a BatchEngine over either the base ShardedStore directly (use_view
+/// 0) or a MutableStore view whose delta layer carries delta_permille
+/// of the corpus's region rows as pending inserts. Every inserted row
+/// duplicates an existing region (shifted by one), so the workload's
+/// join shape stays comparable across fractions; the interesting cost
+/// is the merge-on-read path itself.
+void BM_DeltaMergeOverhead(benchmark::State& state) {
+  const bool use_view = state.range(0) != 0;
+  const int delta_permille = static_cast<int>(state.range(1));
+  auto base = std::make_shared<storage::ShardedStore>(3);
+  std::vector<xquery::ChainQuery> queries;
+  for (int d = 0; d < 12; ++d) {
+    auto doc = base->AddDocumentText("d" + std::to_string(d), PlayXml(40));
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    for (int rep = 0; rep < 2; ++rep) {
+      xquery::ChainQuery query;
+      query.doc = *doc;
+      query.context_name = "scene";
+      query.steps.push_back({xquery::Axis::kSelectNarrow, false, "speech"});
+      query.steps.push_back({xquery::Axis::kSelectNarrow, false, "word"});
+      queries.push_back(std::move(query));
+    }
+  }
+
+  storage::MutableStore mutable_store(base);
+  if (delta_permille > 0) {
+    const std::string fp = so::ConfigFingerprint(so::StandoffConfig{});
+    const so::StandoffConfig config;
+    so::RegionIndexCache cache;
+    const size_t step = 1000 / static_cast<size_t>(delta_permille);
+    for (storage::DocId doc = 0; doc < base->document_count(); ++doc) {
+      auto index = cache.Get(*base, doc, config);
+      if (!index.ok()) {
+        state.SkipWithError(index.status().ToString().c_str());
+        return;
+      }
+      const storage::Span<Pre> ids = (*index)->annotated_ids();
+      for (size_t i = 0; i < ids.size(); i += step) {
+        int64_t start = 0, end = 0;
+        if (!(*index)->RegionOf(ids[i], &start, &end)) continue;
+        auto seq =
+            mutable_store.InsertRegion(doc, fp, start + 1, end + 1, ids[i]);
+        if (!seq.ok()) {
+          state.SkipWithError(seq.status().ToString().c_str());
+          return;
+        }
+      }
+    }
+  }
+  const std::shared_ptr<const storage::DeltaStoreView> view =
+      mutable_store.View();
+  const storage::StoreView* store =
+      use_view ? static_cast<const storage::StoreView*>(view.get())
+               : static_cast<const storage::StoreView*>(base.get());
+
+  xquery::EngineOptions options;
+  xquery::BatchEngine engine(store, options);
+  (void)engine.ExecuteChainBatch(queries);  // warm caches and arenas
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = 0;
+    auto results = engine.ExecuteChainBatch(queries);
+    for (const auto& r : results) {
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      matches += r->matches.size();
+    }
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["delta_rows"] =
+      static_cast<double>(view->live_insert_rows());
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(queries.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
 }  // namespace
 
 BENCHMARK(BM_ChainOrder)
@@ -298,5 +386,11 @@ BENCHMARK(BM_ChainOrder)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ChainQueries)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BatchOverlapMix)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeltaMergeOverhead)
+    ->Args({0, 0})    // pure base, the reference
+    ->Args({1, 0})    // delta view, zero delta rows: must stay free
+    ->Args({1, 10})   // 1% delta rows
+    ->Args({1, 100})  // 10% delta rows
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -123,6 +123,78 @@ StatusOr<uint64_t> Client::Swap(const std::string& path) {
   return TakeU64(reply->body, &off);
 }
 
+StatusOr<uint32_t> Client::Hello() {
+  std::string body;
+  AppendU32(&body, kProtocolVersion);
+  STANDOFF_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kHelloReq, body));
+  auto reply = ReadFrame(fd_);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == MsgType::kError) return DecodeError(reply->body);
+  if (reply->type != MsgType::kHelloRep) {
+    return Status::Internal("expected kHelloRep");
+  }
+  size_t off = 0;
+  return TakeU32(reply->body, &off);
+}
+
+namespace {
+
+/// Shared tail of both write RPCs: read one frame, expect kWriteOk.
+StatusOr<uint64_t> ReadWriteOk(int fd) {
+  auto reply = ReadFrame(fd);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == MsgType::kError) return DecodeError(reply->body);
+  if (reply->type != MsgType::kWriteOk) {
+    return Status::Internal("expected kWriteOk");
+  }
+  size_t off = 0;
+  return TakeU64(reply->body, &off);
+}
+
+}  // namespace
+
+StatusOr<uint64_t> Client::InsertRegion(uint32_t doc, uint32_t id,
+                                        int64_t start, int64_t end,
+                                        const std::string& fingerprint) {
+  std::string body;
+  AppendU32(&body, doc);
+  AppendU32(&body, id);
+  AppendU64(&body, static_cast<uint64_t>(start));
+  AppendU64(&body, static_cast<uint64_t>(end));
+  body.append(fingerprint);
+  STANDOFF_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kInsertRegionReq, body));
+  return ReadWriteOk(fd_);
+}
+
+StatusOr<uint64_t> Client::DeleteRegions(uint32_t doc, uint32_t id,
+                                         const std::string& fingerprint) {
+  std::string body;
+  AppendU32(&body, doc);
+  AppendU32(&body, id);
+  body.append(fingerprint);
+  STANDOFF_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kDeleteRegionReq, body));
+  return ReadWriteOk(fd_);
+}
+
+StatusOr<Client::CompactReply> Client::Compact(const std::string& path) {
+  STANDOFF_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kCompactReq, path));
+  auto reply = ReadFrame(fd_);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == MsgType::kError) return DecodeError(reply->body);
+  if (reply->type != MsgType::kCompactOk) {
+    return Status::Internal("expected kCompactOk");
+  }
+  size_t off = 0;
+  CompactReply out;
+  auto generation = TakeU64(reply->body, &off);
+  if (!generation.ok()) return generation.status();
+  auto seq = TakeU64(reply->body, &off);
+  if (!seq.ok()) return seq.status();
+  out.generation = *generation;
+  out.compacted_seq = *seq;
+  return out;
+}
+
 StatusOr<ServerStats> Client::Stats() {
   STANDOFF_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kStatsReq, ""));
   auto reply = ReadFrame(fd_);
@@ -138,6 +210,16 @@ StatusOr<ServerStats> Client::Stats() {
                         &stats.subplan_hits,         &stats.subplan_misses,
                         &stats.subplan_evictions};
   for (uint64_t* field : fields) {
+    auto value = TakeU64(reply->body, &off);
+    if (!value.ok()) return value.status();
+    *field = *value;
+  }
+  // Appended by protocol 2; absent (and zero) on an older server.
+  uint64_t* tail[] = {&stats.delta_inserts, &stats.delta_deletes,
+                      &stats.delta_live_rows, &stats.delta_live_tombstones,
+                      &stats.compactions};
+  for (uint64_t* field : tail) {
+    if (off + 8 > reply->body.size()) break;
     auto value = TakeU64(reply->body, &off);
     if (!value.ok()) return value.status();
     *field = *value;

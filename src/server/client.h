@@ -46,6 +46,33 @@ class Client {
   /// Asks the server to hot-swap to `path`; returns the new generation.
   StatusOr<uint64_t> Swap(const std::string& path);
 
+  /// Protocol-version exchange: returns the server's version. A
+  /// pre-write server answers kError("unknown request type") — that
+  /// status IS the capability probe for the write frames below.
+  StatusOr<uint32_t> Hello();
+
+  /// Appends a region for element `id` of `doc` to the server's delta
+  /// layer; empty fingerprint = the default standoff config. Returns
+  /// the sequence number the write was applied at.
+  StatusOr<uint64_t> InsertRegion(uint32_t doc, uint32_t id, int64_t start,
+                                  int64_t end,
+                                  const std::string& fingerprint = "");
+
+  /// Deletes every region of `id` under the config; same conventions.
+  StatusOr<uint64_t> DeleteRegions(uint32_t doc, uint32_t id,
+                                   const std::string& fingerprint = "");
+
+  struct CompactReply {
+    uint64_t generation = 0;     // the compacted snapshot's generation
+    uint64_t compacted_seq = 0;  // writes <= this are now in the base
+  };
+  /// Compacts (base ⊎ delta) into a new snapshot generation; empty
+  /// path lets the server choose a sibling of its boot snapshot.
+  StatusOr<CompactReply> Compact(const std::string& path = "");
+
+  /// Reads the server's counters. The five delta/compaction fields are
+  /// zero when the server predates the write protocol (its kStatsRep
+  /// body simply ends earlier).
   StatusOr<ServerStats> Stats();
 
   /// The raw socket, for tests that need to write malformed bytes.

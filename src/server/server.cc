@@ -14,6 +14,7 @@
 #include "common/timer.h"
 #include "server/query_text.h"
 #include "server/wire.h"
+#include "standoff/region_index.h"
 
 namespace standoff {
 namespace server {
@@ -89,14 +90,16 @@ std::string SerializeFlwor(const algebra::QueryResult& result) {
 
 }  // namespace
 
-/// Per-connection execution state: the generation this connection's
-/// engine was built over, the shared store pinning that generation's
-/// mapping, and the warmed BatchEngine. Only the connection's own
-/// thread touches it (frames are serial per connection); the pool task
-/// borrows it for exactly one query at a time.
+/// Per-connection execution state: the (generation, delta sequence)
+/// this connection's engine was built over, the frozen delta view
+/// pinning that generation's mapping plus its delta runs, and the
+/// warmed BatchEngine. Only the connection's own thread touches it
+/// (frames are serial per connection); the pool task borrows it for
+/// exactly one query at a time.
 struct Server::ConnState {
   uint64_t generation = 0;  // 0 = no engine built yet
-  std::shared_ptr<const storage::ShardedStore> store;
+  uint64_t delta_seq = 0;
+  std::shared_ptr<const storage::DeltaStoreView> store;
   std::unique_ptr<xquery::BatchEngine> engine;
 };
 
@@ -110,7 +113,9 @@ StatusOr<std::unique_ptr<Server>> Server::Start(
 
   std::unique_ptr<Server> server(new Server(config));
   server->generation_ = 1;
-  server->store_ = (*snapshot)->shared_store();
+  server->boot_snapshot_path_ = snapshot_path;
+  server->mutable_store_ =
+      std::make_unique<storage::MutableStore>((*snapshot)->shared_store());
   snapshot->reset();  // the shared store keeps the mapping alive
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -172,10 +177,17 @@ ServerStats Server::stats() const {
   out.subplan_hits = subplan_hits_.load(std::memory_order_relaxed);
   out.subplan_misses = subplan_misses_.load(std::memory_order_relaxed);
   out.subplan_evictions = subplan_evictions_.load(std::memory_order_relaxed);
+  const storage::DeltaStats delta = mutable_store_->stats();
+  out.delta_inserts = delta.inserts_total;
+  out.delta_deletes = delta.deletes_total;
+  out.delta_live_rows = delta.live_insert_rows;
+  out.delta_live_tombstones = delta.live_tombstones;
+  out.compactions = delta.compactions;
   return out;
 }
 
 StatusOr<uint64_t> Server::SwapSnapshot(const std::string& path) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
   auto snapshot = storage::Snapshot::Open(path);
   if (!snapshot.ok()) return snapshot.status();
   std::shared_ptr<const storage::ShardedStore> fresh =
@@ -186,12 +198,43 @@ StatusOr<uint64_t> Server::SwapSnapshot(const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     generation = ++generation_;
-    store_ = std::move(fresh);
+    // Deltas reference the replaced base's documents and drop with it.
+    mutable_store_->ResetBase(std::move(fresh));
     // The old generation's shared_ptr just dropped; its mapping
     // unmaps when the last in-flight query or connection engine
     // releases its reference. That IS the drain.
   }
   swaps_.fetch_add(1, std::memory_order_relaxed);
+  return generation;
+}
+
+StatusOr<uint64_t> Server::Compact(const std::string& path,
+                                   uint64_t* compacted_seq) {
+  // One base replacement at a time; writes and queries proceed — the
+  // freeze inside CompactToSnapshot is the only synchronization they
+  // see, and writes landing after it survive the rebase.
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  std::string target = path;
+  if (target.empty()) {
+    target = boot_snapshot_path_ + ".gen" + std::to_string(generation() + 1);
+  }
+  uint64_t frozen_seq = 0;
+  STANDOFF_RETURN_IF_ERROR(
+      mutable_store_->CompactToSnapshot(target, pool_.get(), &frozen_seq));
+  auto snapshot = storage::Snapshot::Open(target);
+  if (!snapshot.ok()) return snapshot.status();
+  std::shared_ptr<const storage::ShardedStore> fresh =
+      (*snapshot)->shared_store();
+  snapshot->reset();
+
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    generation = ++generation_;
+    mutable_store_->AdoptCompacted(frozen_seq, std::move(fresh));
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  *compacted_seq = frozen_seq;
   return generation;
 }
 
@@ -262,6 +305,21 @@ void Server::ConnectionLoop(int fd) {
       case MsgType::kQueryReq:
         alive = HandleQuery(fd, &conn, frame->body);
         break;
+      case MsgType::kHelloReq: {
+        std::string body;
+        AppendU32(&body, kProtocolVersion);
+        alive = WriteFrame(fd, MsgType::kHelloRep, body).ok();
+        break;
+      }
+      case MsgType::kInsertRegionReq:
+        alive = HandleInsert(fd, frame->body);
+        break;
+      case MsgType::kDeleteRegionReq:
+        alive = HandleDelete(fd, frame->body);
+        break;
+      case MsgType::kCompactReq:
+        alive = HandleCompact(fd, frame->body);
+        break;
       default:
         alive = WriteFrame(fd, MsgType::kError,
                            ErrorBody(Status::Invalid(
@@ -296,24 +354,32 @@ bool Server::HandleQuery(int fd, ConnState* conn, const std::string& text) {
     return WriteFrame(fd, MsgType::kBusy, "").ok();
   }
 
-  // Pin the generation this query runs against.
+  // Pin the (generation, delta sequence) this query runs against: the
+  // frozen view is consistent for the whole query no matter what
+  // writers, compaction, or swaps do meanwhile. MutableStore caches
+  // the view, so an unchanged store returns the SAME object and the
+  // warm engine below is reused — the zero-write path costs one mutex
+  // hop and two comparisons.
   uint64_t generation = 0;
-  std::shared_ptr<const storage::ShardedStore> store;
+  std::shared_ptr<const storage::DeltaStoreView> store;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     generation = generation_;
-    store = store_;
+    store = mutable_store_->View();
   }
-  if (conn->generation != generation) {
-    // First query after a swap (or ever): rebuild the engine over the
-    // new generation. The old store's reference drops here — this is
-    // where an idle connection releases the previous mapping.
+  if (conn->generation != generation ||
+      conn->delta_seq != store->delta_sequence()) {
+    // First query after a swap, compaction, or delta write (or ever):
+    // rebuild the engine over the new view. The old view's reference
+    // drops here — this is where an idle connection releases the
+    // previous mapping.
     xquery::EngineOptions options;
     options.timeout_seconds = config_.query_timeout_seconds;
     conn->engine =
         std::make_unique<xquery::BatchEngine>(store.get(), options);
     conn->store = store;
     conn->generation = generation;
+    conn->delta_seq = store->delta_sequence();
   }
 
   // Run on the shared pool; the connection thread waits (frames stay
@@ -427,6 +493,76 @@ bool Server::HandleQuery(int fd, ConnState* conn, const std::string& text) {
   return WriteFrame(fd, MsgType::kResultEnd, end).ok();
 }
 
+bool Server::HandleInsert(int fd, const std::string& body) {
+  size_t off = 0;
+  auto doc = TakeU32(body, &off);
+  auto id = TakeU32(body, &off);
+  auto start = TakeU64(body, &off);
+  auto end = TakeU64(body, &off);
+  if (!doc.ok() || !id.ok() || !start.ok() || !end.ok()) {
+    return WriteFrame(fd, MsgType::kError,
+                      ErrorBody(Status::Invalid("short insert frame")))
+        .ok();
+  }
+  std::string fingerprint = body.substr(off);
+  if (fingerprint.empty()) {
+    fingerprint = so::ConfigFingerprint(so::StandoffConfig{});
+  } else if (auto parsed = so::ParseConfigFingerprint(fingerprint);
+             !parsed.ok()) {
+    return WriteFrame(fd, MsgType::kError, ErrorBody(parsed.status())).ok();
+  }
+  auto seq = mutable_store_->InsertRegion(
+      *doc, fingerprint, static_cast<int64_t>(*start),
+      static_cast<int64_t>(*end), *id);
+  if (!seq.ok()) {
+    return WriteFrame(fd, MsgType::kError, ErrorBody(seq.status())).ok();
+  }
+  std::string reply;
+  AppendU64(&reply, *seq);
+  return WriteFrame(fd, MsgType::kWriteOk, reply).ok();
+}
+
+bool Server::HandleDelete(int fd, const std::string& body) {
+  size_t off = 0;
+  auto doc = TakeU32(body, &off);
+  auto id = TakeU32(body, &off);
+  if (!doc.ok() || !id.ok()) {
+    return WriteFrame(fd, MsgType::kError,
+                      ErrorBody(Status::Invalid("short delete frame")))
+        .ok();
+  }
+  std::string fingerprint = body.substr(off);
+  if (fingerprint.empty()) {
+    fingerprint = so::ConfigFingerprint(so::StandoffConfig{});
+  } else if (auto parsed = so::ParseConfigFingerprint(fingerprint);
+             !parsed.ok()) {
+    return WriteFrame(fd, MsgType::kError, ErrorBody(parsed.status())).ok();
+  }
+  auto seq = mutable_store_->DeleteRegions(*doc, fingerprint, *id);
+  if (!seq.ok()) {
+    return WriteFrame(fd, MsgType::kError, ErrorBody(seq.status())).ok();
+  }
+  std::string reply;
+  AppendU64(&reply, *seq);
+  return WriteFrame(fd, MsgType::kWriteOk, reply).ok();
+}
+
+bool Server::HandleCompact(int fd, const std::string& body) {
+  // Runs on the connection thread: frames on THIS connection stall for
+  // the duration (compaction is an admin operation), while every other
+  // connection keeps reading and writing against the frozen state.
+  uint64_t compacted_seq = 0;
+  auto generation = Compact(body, &compacted_seq);
+  if (!generation.ok()) {
+    return WriteFrame(fd, MsgType::kError, ErrorBody(generation.status()))
+        .ok();
+  }
+  std::string reply;
+  AppendU64(&reply, *generation);
+  AppendU64(&reply, compacted_seq);
+  return WriteFrame(fd, MsgType::kCompactOk, reply).ok();
+}
+
 void Server::SendStats(int fd) {
   const ServerStats stats = this->stats();
   std::string body;
@@ -439,6 +575,11 @@ void Server::SendStats(int fd) {
   AppendU64(&body, stats.subplan_hits);
   AppendU64(&body, stats.subplan_misses);
   AppendU64(&body, stats.subplan_evictions);
+  AppendU64(&body, stats.delta_inserts);
+  AppendU64(&body, stats.delta_deletes);
+  AppendU64(&body, stats.delta_live_rows);
+  AppendU64(&body, stats.delta_live_tombstones);
+  AppendU64(&body, stats.compactions);
   WriteFrame(fd, MsgType::kStatsRep, body);
 }
 

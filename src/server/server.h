@@ -40,6 +40,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "storage/delta.h"
 #include "storage/sharded_store.h"
 #include "storage/snapshot.h"
 #include "xquery/engine.h"
@@ -74,6 +75,14 @@ struct ServerStats {
   uint64_t subplan_hits = 0;
   uint64_t subplan_misses = 0;
   uint64_t subplan_evictions = 0;
+  /// Mutable-store counters (DESIGN.md §15): accepted writes, the
+  /// delta rows / tombstones currently pending, and completed
+  /// compactions. Appended to kStatsRep after the fields above.
+  uint64_t delta_inserts = 0;
+  uint64_t delta_deletes = 0;
+  uint64_t delta_live_rows = 0;
+  uint64_t delta_live_tombstones = 0;
+  uint64_t compactions = 0;
 };
 
 /// Bounded admission: TryEnter either reserves a slot or reports the
@@ -115,8 +124,21 @@ class Server {
 
   /// Opens `path` and atomically publishes it as the next generation.
   /// Returns the new generation number. In-flight queries drain over
-  /// the old mapping by refcount; see the file comment.
+  /// the old mapping by refcount; see the file comment. Pending deltas
+  /// are DROPPED — their ids reference the replaced base.
   StatusOr<uint64_t> SwapSnapshot(const std::string& path);
+
+  /// Compacts (base ⊎ delta) into a snapshot at `path` (empty = a
+  /// server-chosen "<boot path>.gen<N>" sibling), reopens it, and
+  /// publishes it as the next generation through the same hot-swap
+  /// path; pending deltas are rebased, keeping exactly the writes
+  /// issued after the freeze. Returns the new generation and, via
+  /// *compacted_seq, the frozen sequence number.
+  StatusOr<uint64_t> Compact(const std::string& path,
+                             uint64_t* compacted_seq);
+
+  /// The mutable store every write frame lands in. Thread-safe.
+  storage::MutableStore* mutable_store() { return mutable_store_.get(); }
 
   uint64_t generation() const;
   ServerStats stats() const;
@@ -135,16 +157,26 @@ class Server {
   /// One kQueryReq: parse, admit, execute on the pool, stream result.
   /// Returns false when the connection is no longer writable.
   bool HandleQuery(int fd, ConnState* conn, const std::string& text);
+  bool HandleInsert(int fd, const std::string& body);
+  bool HandleDelete(int fd, const std::string& body);
+  bool HandleCompact(int fd, const std::string& body);
   void SendStats(int fd);
 
   const ServerConfig config_;
   uint16_t port_ = 0;
+  std::string boot_snapshot_path_;
   // Atomic: Stop() retires the fd concurrently with AcceptLoop's reads.
   std::atomic<int> listen_fd_{-1};
 
   mutable std::mutex state_mu_;
   uint64_t generation_ = 0;
-  std::shared_ptr<const storage::ShardedStore> store_;
+  /// Serializes base replacement (SwapSnapshot, Compact) end to end —
+  /// write frames and queries never take it.
+  std::mutex admin_mu_;
+  /// Base generations + pending deltas. Queries pin one frozen
+  /// (generation, delta sequence) view at admission. Set once in
+  /// Start(), before any thread exists; never null afterwards.
+  std::unique_ptr<storage::MutableStore> mutable_store_;
 
   AdmissionGate gate_;
   std::unique_ptr<ThreadPool> pool_;

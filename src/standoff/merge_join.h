@@ -164,7 +164,13 @@ class JoinArenaPool {
   std::vector<JoinArena*> free_;
 };
 
-struct JoinOptions {
+/// Algorithm knobs of the merge kernels themselves — the bottom layer
+/// of the options scheme (DESIGN.md §15). Every higher-level options
+/// struct embeds exactly one of these (JoinOptions derives from it;
+/// EngineOptions carries a JoinOptions) and derives downward, so a
+/// kernel flag is stated once and flows through engine, planner and
+/// server without field-by-field copying.
+struct KernelOptions {
   ActiveListKind active_list = ActiveListKind::kSortedList;
   bool prune_contained_contexts = true;
   /// Skip-based merging: gallop the candidate cursor over runs with no
@@ -179,6 +185,13 @@ struct JoinOptions {
   /// benchmarks compare against. Every level produces byte-identical
   /// output.
   simd::Level simd = simd::Level::kAuto;
+};
+
+/// Per-call options of one join: the kernel knobs plus the attachments
+/// (scratch, tracing, stats) that belong to a single invocation. The
+/// inheritance is the migration shim — `options.gallop`, `options.simd`
+/// etc. read the KernelOptions layer directly.
+struct JoinOptions : KernelOptions {
   /// Reusable scratch; null means per-call local buffers (allocates).
   JoinArena* arena = nullptr;
   TraceSink* trace = nullptr;    // non-null: emit per-step events (slow)

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "standoff/simd_kernels.h"
 #include "storage/columns.h"
+#include "storage/delta.h"
 
 namespace standoff {
 namespace so {
@@ -20,6 +21,26 @@ ResolvedConfig Resolve(const StandoffConfig& config,
 
 std::string ConfigFingerprint(const StandoffConfig& config) {
   return config.start_attr + "|" + config.end_attr + "|" + config.type;
+}
+
+StatusOr<StandoffConfig> ParseConfigFingerprint(
+    const std::string& fingerprint) {
+  const size_t first = fingerprint.find('|');
+  const size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : fingerprint.find('|', first + 1);
+  if (second == std::string::npos ||
+      fingerprint.find('|', second + 1) != std::string::npos) {
+    return Status::Invalid("malformed config fingerprint: " + fingerprint);
+  }
+  StandoffConfig config;
+  config.start_attr = fingerprint.substr(0, first);
+  config.end_attr = fingerprint.substr(first + 1, second - first - 1);
+  config.type = fingerprint.substr(second + 1);
+  if (config.start_attr.empty() || config.end_attr.empty()) {
+    return Status::Invalid("malformed config fingerprint: " + fingerprint);
+  }
+  return config;
 }
 
 namespace {
@@ -217,6 +238,14 @@ RegionIndex RegionIndex::FromEntries(std::vector<RegionEntry> entries) {
   return index;
 }
 
+RegionIndex RegionIndex::FromSortedColumns(RegionColumnsData cols) {
+  RegionIndex index;
+  index.cols_ = std::move(cols);
+  index.cols_.SortCanonical();  // verifies; no-op permutation when sorted
+  index.BuildIdIndex();
+  return index;
+}
+
 RegionColumns RegionIndex::columns() const { return cols_.View(); }
 
 const std::vector<RegionEntry>& RegionIndex::entries() const {
@@ -316,29 +345,88 @@ bool RegionIndex::RegionOf(storage::Pre id, int64_t* start,
   return true;
 }
 
+RegionIndex MergeBaseDelta(const RegionIndex& base,
+                           const storage::DeltaRun& delta) {
+  const RegionColumns b = base.columns();
+  const std::vector<storage::DeltaInsert>& ins = delta.inserts;
+  RegionColumnsData out;
+  out.Reserve(b.size + ins.size());
+  // Two-way union over the (start, end, id)-sorted base rows — minus
+  // tombstoned ids — and the equally-sorted inserts. Ties break toward
+  // the base so equal rows come out in a deterministic order (equal
+  // triples are indistinguishable anyway).
+  size_t i = 0, j = 0;
+  const bool any_tombstones = !delta.tombstones.empty();
+  auto base_dead = [&](size_t row) {
+    return any_tombstones && delta.IsTombstoned(b.id[row]);
+  };
+  while (i < b.size && j < ins.size()) {
+    const bool take_base =
+        b.start[i] != ins[j].start
+            ? b.start[i] < ins[j].start
+            : (b.end[i] != ins[j].end ? b.end[i] < ins[j].end
+                                      : b.id[i] <= ins[j].id);
+    if (take_base) {
+      if (!base_dead(i)) out.Append(b.start[i], b.end[i], b.id[i]);
+      ++i;
+    } else {
+      out.Append(ins[j].start, ins[j].end, ins[j].id);
+      ++j;
+    }
+  }
+  for (; i < b.size; ++i) {
+    if (!base_dead(i)) out.Append(b.start[i], b.end[i], b.id[i]);
+  }
+  for (; j < ins.size(); ++j) {
+    out.Append(ins[j].start, ins[j].end, ins[j].id);
+  }
+  return RegionIndex::FromSortedColumns(std::move(out));
+}
+
 StatusOr<const RegionIndex*> RegionIndexCache::Get(
-    const storage::DocumentStore& store, storage::DocId doc,
+    const storage::StoreView& store, storage::DocId doc,
     const StandoffConfig& config) {
   if (doc >= store.document_count()) {
     return Status::NotFound("no document " + std::to_string(doc));
   }
   const std::string fingerprint = ConfigFingerprint(config);
-  // Snapshot-preloaded indexes serve the exact config they were saved
-  // under; anything else falls through to a build from the node table.
+  // Resolve the BASE index: a snapshot-preloaded index serves the exact
+  // config it was saved under; anything else falls through to a build
+  // from the node table, cached in Entry.built.
+  const RegionIndex* base = nullptr;
   for (const auto& [saved_fingerprint, index] :
        store.document(doc).preloaded_indexes) {
-    if (saved_fingerprint == fingerprint) return index.get();
+    if (saved_fingerprint == fingerprint) {
+      base = index.get();
+      break;
+    }
   }
-  auto key = std::make_pair(doc, fingerprint);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return const_cast<const RegionIndex*>(it->second.get());
-  StatusOr<RegionIndex> built =
-      RegionIndex::Build(store.table(doc), Resolve(config, store.names()));
-  if (!built.ok()) return built.status();
-  auto owned = std::make_unique<RegionIndex>(built.MoveValueUnsafe());
-  const RegionIndex* ptr = owned.get();
-  cache_.emplace(std::move(key), std::move(owned));
-  return ptr;
+  Entry* entry = nullptr;
+  if (base == nullptr) {
+    auto key = std::make_pair(doc, fingerprint);
+    entry = &cache_[key];
+    if (!entry->built) {
+      StatusOr<RegionIndex> built =
+          RegionIndex::Build(store.table(doc), Resolve(config, store.names()));
+      if (!built.ok()) {
+        cache_.erase(key);
+        return built.status();
+      }
+      entry->built = std::make_unique<RegionIndex>(built.MoveValueUnsafe());
+    }
+    base = entry->built.get();
+  }
+  // No pending delta for the key: exactly the pre-delta path (one
+  // virtual call returning null for plain stores).
+  const std::shared_ptr<const storage::DeltaRun> run =
+      store.delta_run(doc, fingerprint);
+  if (run == nullptr || run->empty()) return base;
+  if (entry == nullptr) entry = &cache_[std::make_pair(doc, fingerprint)];
+  if (!entry->merged || entry->merged_seq != run->seq) {
+    entry->merged = std::make_unique<RegionIndex>(MergeBaseDelta(*base, *run));
+    entry->merged_seq = run->seq;
+  }
+  return entry->merged.get();
 }
 
 }  // namespace so

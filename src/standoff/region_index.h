@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "storage/columns.h"
 #include "storage/document_store.h"
+#include "storage/store_view.h"
 
 namespace standoff {
 namespace so {
@@ -125,10 +126,16 @@ struct StandoffConfig {
 };
 
 /// Cache / snapshot key for a config: "start|end|type". Shared by
-/// RegionIndexCache, Document::preloaded_indexes, and the snapshot
-/// directory so a saved index is found by exactly the config that
-/// built it.
+/// RegionIndexCache, Document::preloaded_indexes, the delta layer's
+/// run keys, and the snapshot directory so a saved index is found by
+/// exactly the config that built it.
 std::string ConfigFingerprint(const StandoffConfig& config);
+
+/// Inverse of ConfigFingerprint: splits "start|end|type" back into a
+/// config ('|' cannot occur in an XML attribute name, so the encoding
+/// is injective). Compaction uses this to re-embed every config a base
+/// snapshot or delta run names. Invalid on a malformed fingerprint.
+StatusOr<StandoffConfig> ParseConfigFingerprint(const std::string& fingerprint);
 
 /// StandoffConfig with attribute names resolved against a NameTable.
 struct ResolvedConfig {
@@ -154,6 +161,11 @@ class RegionIndex {
 
   /// Sorts `entries` by (start, end, id) and takes ownership.
   static RegionIndex FromEntries(std::vector<RegionEntry> entries);
+
+  /// Adopts columns already in canonical (start, end, id) order — the
+  /// delta merge cursor emits directly in that order, so no re-sort.
+  /// `cols` must carry the start_sorted promise.
+  static RegionIndex FromSortedColumns(RegionColumnsData cols);
 
   /// Scans the node table once and indexes every element that carries
   /// both configured region attributes.
@@ -248,21 +260,39 @@ class RegionIndex {
   void BuildIdIndex();
 };
 
-/// Caches one RegionIndex per (document, config), consulting the
-/// document's snapshot-preloaded indexes first — a snapshot-backed
-/// store serves its mmap'ed indexes through the same Get. Returned
-/// pointers stay valid for the life of the cache (or, for preloaded
-/// indexes, the Snapshot that owns them).
+/// The delta layer's merge-on-read cursor: a single streaming two-way
+/// union pass over the base columns (already (start, end, id)-sorted,
+/// minus the rows whose id the run tombstones) and the run's sorted
+/// inserts, materialized once into an owning RegionIndex. The result's
+/// columns are byte-identical to an index rebuilt from scratch over
+/// (base entries ∖ tombstoned ids) ∪ inserts — the differential
+/// contract — and the unchanged scalar/SIMD/gallop kernels consume it
+/// like any other index.
+RegionIndex MergeBaseDelta(const RegionIndex& base,
+                           const storage::DeltaRun& delta);
+
+/// Caches one RegionIndex per (document, config) over any StoreView,
+/// consulting the document's snapshot-preloaded indexes first — a
+/// snapshot-backed store serves its mmap'ed indexes through the same
+/// Get. Views with pending deltas (StoreView::delta_run) are served a
+/// merged (base ⊎ delta) index instead, cached per delta sequence; a
+/// view with NO delta for the key costs exactly the pre-delta path.
+/// Returned pointers stay valid for the life of the cache (or, for
+/// preloaded indexes, the Snapshot that owns them). Not thread-safe;
+/// each Engine owns one.
 class RegionIndexCache {
  public:
-  StatusOr<const RegionIndex*> Get(const storage::DocumentStore& store,
+  StatusOr<const RegionIndex*> Get(const storage::StoreView& store,
                                    storage::DocId doc,
                                    const StandoffConfig& config);
 
  private:
-  std::map<std::pair<storage::DocId, std::string>,
-           std::unique_ptr<RegionIndex>>
-      cache_;
+  struct Entry {
+    std::unique_ptr<RegionIndex> built;   // from the node table
+    std::unique_ptr<RegionIndex> merged;  // base ⊎ delta at merged_seq
+    uint64_t merged_seq = 0;
+  };
+  std::map<std::pair<storage::DocId, std::string>, Entry> cache_;
 };
 
 }  // namespace so

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "storage/node_table.h"
+#include "storage/store_view.h"
 
 namespace standoff {
 
@@ -51,7 +52,7 @@ struct Document {
 Status ShredDocumentText(std::string_view xml_text, NameTable* names,
                          Document* doc);
 
-class DocumentStore {
+class DocumentStore : public StoreView {
  public:
   /// Parses and shreds `xml_text` in a single pass; returns the new
   /// document's id. Whitespace-only text nodes are dropped.
@@ -64,10 +65,20 @@ class DocumentStore {
   /// against this store's name table.
   DocId AdoptDocument(std::unique_ptr<Document> doc);
 
-  const Document& document(DocId doc) const { return *docs_[doc]; }
-  const NodeTable& table(DocId doc) const { return docs_[doc]->table; }
-  const NameTable& names() const { return names_; }
-  size_t document_count() const { return docs_.size(); }
+  const Document& document(DocId doc) const override { return *docs_[doc]; }
+  const NodeTable& table(DocId doc) const override {
+    return docs_[doc]->table;
+  }
+  const NameTable& names() const override { return names_; }
+  size_t document_count() const override { return docs_.size(); }
+
+  /// StoreView geometry: a DocumentStore is one shard holding every
+  /// document.
+  uint32_t shard_count() const override { return 1; }
+  uint32_t shard_of(DocId) const override { return 0; }
+  const std::vector<DocId>& shard_docs(uint32_t) const override {
+    return all_docs_;
+  }
 
   /// Substrate hook for the ingestion and snapshot subsystems, which
   /// intern (or borrow) names outside AddDocumentText. Query-layer code
@@ -78,6 +89,7 @@ class DocumentStore {
  private:
   NameTable names_;
   std::vector<std::unique_ptr<Document>> docs_;
+  std::vector<DocId> all_docs_;  // [0, docs_.size()), for shard_docs
 };
 
 }  // namespace storage

@@ -20,7 +20,7 @@
 namespace standoff {
 namespace storage {
 
-class ShardedStore {
+class ShardedStore : public StoreView {
  public:
   /// `shard_count` must be >= 1; it is fixed for the store's lifetime.
   explicit ShardedStore(uint32_t shard_count)
@@ -37,20 +37,27 @@ class ShardedStore {
 
   Status SetBlob(DocId doc, std::string blob);
 
-  uint32_t shard_count() const {
+  uint32_t shard_count() const override {
     return static_cast<uint32_t>(shard_docs_.size());
   }
-  uint32_t shard_of(DocId doc) const { return doc % shard_count(); }
+  uint32_t shard_of(DocId doc) const override { return doc % shard_count(); }
 
   /// The ids of this shard's documents, in document (load) order.
-  const std::vector<DocId>& shard_docs(uint32_t shard) const {
+  const std::vector<DocId>& shard_docs(uint32_t shard) const override {
     return shard_docs_[shard];
   }
 
   /// The underlying store: shared name table, node tables, per-document
   /// element indexes. Const access is thread-safe once loading is done.
   const DocumentStore& store() const { return store_; }
-  size_t document_count() const { return store_.document_count(); }
+  size_t document_count() const override { return store_.document_count(); }
+  const NameTable& names() const override { return store_.names(); }
+  const Document& document(DocId doc) const override {
+    return store_.document(doc);
+  }
+  const NodeTable& table(DocId doc) const override {
+    return store_.table(doc);
+  }
 
   /// Substrate hook for ingestion/snapshot (name interning, adopted
   /// documents). Query-layer code must use the const accessor above.

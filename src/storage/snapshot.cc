@@ -487,6 +487,16 @@ Status SaveImpl(const DocumentStore& store, uint32_t shard_count,
       options.pool, 0, index_entries.size(), [&](size_t i) -> Status {
         IndexEntry& entry = index_entries[i];
         const std::string fingerprint = so::ConfigFingerprint(*entry.config);
+        // Caller-supplied overrides (compaction's merged indexes) win
+        // over both the preloaded index and a fresh build.
+        for (const auto& override_entry : options.index_overrides) {
+          if (override_entry.doc == entry.doc &&
+              override_entry.fingerprint == fingerprint &&
+              override_entry.index != nullptr) {
+            entry.index = override_entry.index.get();
+            return Status::OK();
+          }
+        }
         for (const auto& [saved, preloaded] :
              store.document(entry.doc).preloaded_indexes) {
           if (saved == fingerprint) {

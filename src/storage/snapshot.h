@@ -58,6 +58,18 @@ struct SnapshotWriteOptions {
   /// Parallelizes the per-(document, config) region-index builds; null
   /// (or zero-worker) pool builds on the calling thread.
   ThreadPool* pool = nullptr;
+  /// A caller-supplied index to embed INSTEAD of building/reusing one,
+  /// keyed by (doc, ConfigFingerprint). Compaction passes its merged
+  /// (base ⊎ delta) indexes here so the written generation reflects the
+  /// deltas without the store's node tables changing. Overrides are
+  /// consulted first; (doc, config) pairs without one take the normal
+  /// preloaded-or-build path.
+  struct IndexOverride {
+    DocId doc = 0;
+    std::string fingerprint;
+    std::shared_ptr<const so::RegionIndex> index;
+  };
+  std::vector<IndexOverride> index_overrides;
 };
 
 /// Serializes `store` to `path` — durably and atomically: bytes are

@@ -341,12 +341,20 @@ so::JoinArenaPool* Engine::Arenas() {
   return options_.exec.reuse_scratch ? &arena_pool_ : nullptr;
 }
 
-so::JoinOptions Engine::EffectiveJoin() const {
-  so::JoinOptions join = options_.join;
-  if (options_.exec.simd != simd::Level::kAuto) {
-    join.simd = options_.exec.simd;
-  }
-  return join;
+so::ParallelJoinOptions Engine::DeriveParallel() {
+  so::ParallelJoinOptions parallel;
+  parallel.pool = ExecPool();
+  parallel.iter_blocks = options_.exec.num_threads;
+  parallel.candidate_shards = options_.exec.shard_count;
+  parallel.arenas = Arenas();
+  parallel.join = options_.join;
+  return parallel;
+}
+
+so::ChainExecOptions Engine::DeriveChainExec() {
+  so::ChainExecOptions exec;
+  exec.parallel = DeriveParallel();
+  return exec;
 }
 
 StatusOr<const so::RegionIndex*> Engine::GetIndex(storage::DocId doc) {
@@ -522,12 +530,7 @@ StatusOr<ChainResult> Engine::EvaluateChain(const ChainQuery& query) {
   }
 
   result.plan = so::PlanChain(spec, options_.plan_mode);
-  so::ChainExecOptions exec;
-  exec.parallel.pool = ExecPool();
-  exec.parallel.iter_blocks = options_.exec.num_threads;
-  exec.parallel.candidate_shards = options_.exec.shard_count;
-  exec.parallel.arenas = Arenas();
-  exec.parallel.join = EffectiveJoin();
+  so::ChainExecOptions exec = DeriveChainExec();
   const std::function<Status()> checkpoint = [this] {
     return CheckDeadline();
   };
@@ -719,7 +722,7 @@ std::vector<StatusOr<algebra::QueryResult>> Engine::EvaluateBatch(
   return results;
 }
 
-BatchEngine::BatchEngine(const storage::ShardedStore* store,
+BatchEngine::BatchEngine(const storage::StoreView* store,
                          EngineOptions options)
     : store_(store), options_(std::move(options)) {
   engines_.resize(store_->shard_count());
@@ -728,7 +731,7 @@ BatchEngine::BatchEngine(const storage::ShardedStore* store,
 Engine* BatchEngine::shard_engine(uint32_t shard) {
   if (shard >= engines_.size()) return nullptr;
   if (!engines_[shard]) {
-    engines_[shard] = std::make_unique<Engine>(&store_->store());
+    engines_[shard] = std::make_unique<Engine>(store_);
     *engines_[shard]->mutable_options() = options_;
   }
   return engines_[shard].get();
@@ -892,12 +895,7 @@ Status Engine::StandoffLoopLifted(so::StandoffOp op, storage::DocId doc,
   if (!index.ok()) return index.status();
   std::vector<uint32_t> ann_iters(context.size());
   for (const so::IterRegion& c : context) ann_iters[c.ann] = c.iter;
-  so::ParallelJoinOptions parallel;
-  parallel.pool = ExecPool();
-  parallel.iter_blocks = options_.exec.num_threads;
-  parallel.candidate_shards = options_.exec.shard_count;
-  parallel.arenas = Arenas();
-  parallel.join = EffectiveJoin();
+  so::ParallelJoinOptions parallel = DeriveParallel();
   if (step.any_name) {
     return so::ParallelLoopLiftedStandoffJoinColumns(
         op, context, ann_iters, (*index)->columns(),
@@ -929,7 +927,7 @@ Status Engine::StandoffBasicPerIteration(
           uint32_t fanout, std::vector<so::IterMatch>* out) -> Status {
         STANDOFF_RETURN_IF_ERROR(CheckDeadline());
         std::vector<storage::Pre> pres;
-        so::JoinOptions join = EffectiveJoin();
+        so::JoinOptions join = options_.join;
         join.trace = nullptr;  // per-iteration calls have no trace contract
         join.stats = nullptr;
         join.arena = nullptr;  // groups may run concurrently: pool arenas only

@@ -64,14 +64,15 @@ struct ExecOptions {
   /// allocation-free steady state). Off = every join call uses local
   /// buffers; only useful for memory diagnostics.
   bool reuse_scratch = true;
-  /// Kernel dispatch level for the merge primitives. kAuto defers to
-  /// EngineOptions::join.simd (itself resolved via the STANDOFF_SIMD
-  /// env override, then CPUID); any other value overrides it for every
-  /// join this engine runs — the testing/bench knob the differential
-  /// sweeps use. Output is byte-identical at every level.
-  simd::Level simd = simd::Level::kAuto;
 };
 
+/// The engine layer of the options scheme (DESIGN.md §15): wraps the
+/// kernel-level so::JoinOptions (which itself extends so::KernelOptions)
+/// with execution-shape and planner knobs. There is ONE derivation path
+/// downward — Engine::DeriveParallel / DeriveChainExec — so a kernel
+/// flag set here reaches every join without field-by-field copying.
+/// The SIMD dispatch level lives in `join.simd` (so::KernelOptions);
+/// the differential sweeps set it there directly.
 struct EngineOptions {
   /// Per-Evaluate wall-clock budget in seconds; <= 0 means unlimited.
   double timeout_seconds = 0;
@@ -123,7 +124,12 @@ struct ChainResult {
 
 class Engine {
  public:
-  explicit Engine(const storage::DocumentStore* store) : store_(store) {}
+  /// Any StoreView works: a plain DocumentStore, a ShardedStore, a
+  /// snapshot-backed store, or a delta view — the engine reads store
+  /// geometry and node tables through the interface only, and its
+  /// region-index cache consults StoreView::delta_run so pending
+  /// deltas are merged transparently.
+  explicit Engine(const storage::StoreView* store) : store_(store) {}
 
   StatusOr<algebra::QueryResult> Evaluate(const std::string& query_text);
 
@@ -231,11 +237,14 @@ class Engine {
   /// here, so a warmed engine runs its merge passes allocation-free.
   so::JoinArenaPool* Arenas();
 
-  /// EngineOptions::join with the ExecOptions::simd override applied —
-  /// the one place the two dispatch knobs merge.
-  so::JoinOptions EffectiveJoin() const;
+  /// The single downward derivation of the options scheme: expands
+  /// EngineOptions into the parallel-join decomposition (pool, blocks,
+  /// shards, arenas, kernel knobs) every join call consumes. Chain
+  /// execution wraps the same derivation in a ChainExecOptions.
+  so::ParallelJoinOptions DeriveParallel();
+  so::ChainExecOptions DeriveChainExec();
 
-  const storage::DocumentStore* store_;
+  const storage::StoreView* store_;
   StandoffMode mode_ = StandoffMode::kLoopLifted;
   EngineOptions options_;
   so::StandoffConfig standoff_config_;
@@ -270,7 +279,10 @@ struct SubPlanMemoStats {
 /// single shard keeps intra-query threads/shards instead.
 class BatchEngine {
  public:
-  BatchEngine(const storage::ShardedStore* store, EngineOptions options);
+  /// `store` supplies the shard map through the StoreView interface; a
+  /// single-shard store (plain DocumentStore) degenerates to one
+  /// persistent engine.
+  BatchEngine(const storage::StoreView* store, EngineOptions options);
 
   /// Results in query order. Per-query failures are per-slot statuses —
   /// one bad query never poisons the batch.
@@ -285,7 +297,7 @@ class BatchEngine {
   SubPlanMemoStats memo_stats() const;
 
  private:
-  const storage::ShardedStore* store_;
+  const storage::StoreView* store_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Engine>> engines_;  // one slot per shard

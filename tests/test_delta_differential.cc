@@ -1,0 +1,501 @@
+// Differential pinning of the mutable-store delta layer (DESIGN.md
+// §15): a base store plus any sequence of InsertRegion / DeleteRegions
+// writes must be BYTE-IDENTICAL — in region-index columns and in every
+// query result — to a store rebuilt from scratch over the final state.
+//
+//   * Index level: MergeBaseDelta(base, run) vs RegionIndex rebuilt
+//     from the model entry set, over randomized op sequences including
+//     multi-region ids, delete-then-reinsert, and tombstones of ids
+//     with no base rows.
+//   * Engine level: EvaluateChain over the MutableStore's frozen
+//     DeltaStoreView vs an oracle store whose XML carries the final
+//     region state, across kernels (scalar / auto SIMD) × plan modes ×
+//     {1,4} threads × {1,3} shards. The corpus keeps one region per
+//     element so the oracle XML has identical pre ids.
+//   * Compaction: writes issued between the compaction freeze and
+//     AdoptCompacted (= mid-compaction writes) must survive the
+//     rebase; ops at or below the frozen sequence must fold into the
+//     new base exactly once.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "standoff/region_index.h"
+#include "storage/delta.h"
+#include "storage/sharded_store.h"
+#include "storage/snapshot.h"
+#include "tests/harness.h"
+#include "xquery/engine.h"
+
+using namespace standoff;
+using so::IterMatch;
+using storage::Pre;
+
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string("/tmp/standoff_test_") + name + "_" +
+         std::to_string(::getpid()) + ".sosnap";
+}
+
+std::string DefaultFingerprint() {
+  return so::ConfigFingerprint(so::StandoffConfig{});
+}
+
+// ---------------------------------------------------------------------------
+// Index-level oracle: a model entry multiset updated in lockstep with a
+// DeltaRun built through MutableStore-identical op semantics.
+// ---------------------------------------------------------------------------
+
+struct Model {
+  std::vector<so::RegionEntry> base;     // immutable
+  std::vector<so::RegionEntry> pending;  // live delta inserts
+  std::map<Pre, bool> tombstoned;
+
+  void Insert(int64_t start, int64_t end, Pre id) {
+    pending.push_back({start, end, id});
+  }
+  void Delete(Pre id) {
+    std::vector<so::RegionEntry> kept;
+    for (const auto& e : pending) {
+      if (e.id != id) kept.push_back(e);
+    }
+    pending = std::move(kept);
+    tombstoned[id] = true;
+  }
+  std::vector<so::RegionEntry> Final() const {
+    std::vector<so::RegionEntry> out;
+    for (const auto& e : base) {
+      auto it = tombstoned.find(e.id);
+      if (it == tombstoned.end() || !it->second) out.push_back(e);
+    }
+    for (const auto& e : pending) out.push_back(e);
+    return out;
+  }
+};
+
+/// Applies an op to a DeltaRun with MutableStore's exact semantics.
+void RunInsert(storage::DeltaRun* run, int64_t start, int64_t end, Pre id,
+               uint64_t seq) {
+  const storage::DeltaInsert insert{start, end, id, seq};
+  auto it = std::upper_bound(
+      run->inserts.begin(), run->inserts.end(), insert,
+      [](const storage::DeltaInsert& a, const storage::DeltaInsert& b) {
+        if (a.start != b.start) return a.start < b.start;
+        if (a.end != b.end) return a.end < b.end;
+        return a.id < b.id;
+      });
+  run->inserts.insert(it, insert);
+  run->seq = seq;
+}
+
+void RunDelete(storage::DeltaRun* run, Pre id, uint64_t seq) {
+  run->inserts.erase(
+      std::remove_if(run->inserts.begin(), run->inserts.end(),
+                     [id](const storage::DeltaInsert& i) { return i.id == id; }),
+      run->inserts.end());
+  auto it = std::lower_bound(
+      run->tombstones.begin(), run->tombstones.end(), id,
+      [](const storage::DeltaTombstone& t, Pre value) { return t.id < value; });
+  if (it != run->tombstones.end() && it->id == id) {
+    it->seq = seq;
+  } else {
+    run->tombstones.insert(it, storage::DeltaTombstone{id, seq});
+  }
+  run->seq = seq;
+}
+
+bool ColumnsEqual(const so::RegionIndex& a, const so::RegionIndex& b) {
+  const so::RegionColumns va = a.columns();
+  const so::RegionColumns vb = b.columns();
+  if (va.size != vb.size) return false;
+  for (size_t i = 0; i < va.size; ++i) {
+    if (va.start[i] != vb.start[i] || va.end[i] != vb.end[i] ||
+        va.id[i] != vb.id[i]) {
+      return false;
+    }
+  }
+  const auto ia = a.annotated_ids();
+  const auto ib = b.annotated_ids();
+  if (ia.size() != ib.size()) return false;
+  for (size_t i = 0; i < ia.size(); ++i) {
+    if (ia[i] != ib[i]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level corpus: scene/speech/word with one region per element.
+// Each element's pre id is stable across the base and oracle stores
+// because only ATTRIBUTES differ, never the element structure.
+// ---------------------------------------------------------------------------
+
+/// One element slot: name plus its region in the base and in the final
+/// (post-delta) state. has_* false = no region attributes.
+struct Slot {
+  std::string name;
+  bool has_base = false;
+  int64_t base_start = 0, base_end = 0;
+  bool has_final = false;
+  int64_t final_start = 0, final_end = 0;
+};
+
+std::string CorpusXml(const std::vector<Slot>& slots, bool final_state) {
+  std::string xml = "<play>";
+  for (const Slot& slot : slots) {
+    const bool has = final_state ? slot.has_final : slot.has_base;
+    const int64_t s = final_state ? slot.final_start : slot.base_start;
+    const int64_t e = final_state ? slot.final_end : slot.base_end;
+    if (has) {
+      xml += "<" + slot.name + " start=\"" + std::to_string(s) + "\" end=\"" +
+             std::to_string(e) + "\"/>";
+    } else {
+      xml += "<" + slot.name + "/>";
+    }
+  }
+  xml += "</play>";
+  return xml;
+}
+
+/// The corpus: base regions plus a delta script exercising insert on a
+/// bare element, delete of a base region, and delete-then-reinsert
+/// with moved coordinates.
+std::vector<Slot> MakeSlots() {
+  std::vector<Slot> slots;
+  const auto add = [&](const std::string& name, bool has_base, int64_t bs,
+                       int64_t be, bool has_final, int64_t fs, int64_t fe) {
+    slots.push_back(Slot{name, has_base, bs, be, has_final, fs, fe});
+  };
+  for (int scene = 0; scene < 3; ++scene) {
+    const int64_t base = scene * 1000;
+    add("scene", true, base, base + 999, true, base, base + 999);
+    for (int sp = 0; sp < 2; ++sp) {
+      const int64_t s = base + sp * 400 + 10;
+      add("speech", true, s, s + 350, true, s, s + 350);
+      for (int w = 0; w < 3; ++w) {
+        const int64_t ws = s + 5 + w * 100;
+        add("word", true, ws, ws + 20, true, ws, ws + 20);
+      }
+      // One bare word per speech — a delta insert target.
+      add("word", false, 0, 0, false, 0, 0);
+    }
+  }
+  return slots;
+}
+
+/// Elements are laid out root, then one node per slot in order; the
+/// slot's pre id is its position + 2 (pre 0 is the document node,
+/// pre 1 is <play>). Attributes are not separate nodes.
+Pre SlotPre(size_t slot_index) { return static_cast<Pre>(slot_index + 2); }
+
+struct DeltaOp {
+  enum Kind { kInsert, kDelete } kind = kInsert;
+  size_t slot = 0;
+  int64_t start = 0, end = 0;
+};
+
+/// The scripted delta: applied to MutableStore AND reflected into the
+/// slots' final state. Returns the ops.
+std::vector<DeltaOp> ScriptDeltas(std::vector<Slot>* slots) {
+  std::vector<DeltaOp> ops;
+  std::vector<size_t> bare, words;
+  for (size_t i = 0; i < slots->size(); ++i) {
+    if ((*slots)[i].name != "word") continue;
+    ((*slots)[i].has_base ? words : bare).push_back(i);
+  }
+  // Insert regions for half the bare words.
+  for (size_t k = 0; k < bare.size(); k += 2) {
+    Slot& slot = (*slots)[bare[k]];
+    const int64_t start = 40 + static_cast<int64_t>(k) * 500;
+    slot.has_final = true;
+    slot.final_start = start;
+    slot.final_end = start + 25;
+    ops.push_back({DeltaOp::kInsert, bare[k], start, start + 25});
+  }
+  // Delete every third annotated word.
+  for (size_t k = 0; k < words.size(); k += 3) {
+    Slot& slot = (*slots)[words[k]];
+    slot.has_final = false;
+    ops.push_back({DeltaOp::kDelete, words[k], 0, 0});
+  }
+  // Delete-then-reinsert: the second annotated word moves.
+  if (words.size() > 1) {
+    Slot& slot = (*slots)[words[1]];
+    ops.push_back({DeltaOp::kDelete, words[1], 0, 0});
+    slot.has_final = true;
+    slot.final_start = slot.base_start + 7;
+    slot.final_end = slot.base_end + 7;
+    ops.push_back(
+        {DeltaOp::kInsert, words[1], slot.final_start, slot.final_end});
+  }
+  return ops;
+}
+
+void ApplyOps(storage::MutableStore* store, const std::vector<DeltaOp>& ops,
+              storage::DocId doc) {
+  for (const DeltaOp& op : ops) {
+    if (op.kind == DeltaOp::kInsert) {
+      CHECK_OK(store->InsertRegion(doc, DefaultFingerprint(), op.start,
+                                   op.end, SlotPre(op.slot)));
+    } else {
+      CHECK_OK(store->DeleteRegions(doc, DefaultFingerprint(),
+                                    SlotPre(op.slot)));
+    }
+  }
+}
+
+xquery::ChainQuery SceneSpeechWord(storage::DocId doc) {
+  xquery::ChainQuery query;
+  query.doc = doc;
+  query.context_name = "scene";
+  query.steps.push_back({xquery::Axis::kSelectNarrow, false, "speech"});
+  query.steps.push_back({xquery::Axis::kSelectNarrow, false, "word"});
+  return query;
+}
+
+/// EvaluateChain over `store` under one grid point.
+StatusOr<xquery::ChainResult> RunGridPoint(const storage::StoreView* store,
+                                           storage::DocId doc,
+                                           simd::Level level,
+                                           so::PlanMode mode,
+                                           uint32_t threads, uint32_t shards) {
+  xquery::Engine engine(store);
+  engine.mutable_options()->join.simd = level;
+  engine.mutable_options()->plan_mode = mode;
+  engine.mutable_options()->exec.num_threads = threads;
+  engine.mutable_options()->exec.shard_count = shards;
+  return engine.EvaluateChain(SceneSpeechWord(doc));
+}
+
+}  // namespace
+
+static void TestMergeBaseDeltaRandomOps() {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    Model model;
+    storage::DeltaRun run;
+    // Random base, including ids with MULTIPLE regions.
+    const int base_rows = static_cast<int>(rng.UniformRange(0, 40));
+    for (int i = 0; i < base_rows; ++i) {
+      const int64_t start = rng.UniformRange(0, 500);
+      model.base.push_back(
+          {start, start + rng.UniformRange(0, 100),
+           static_cast<Pre>(rng.UniformRange(1, 20))});
+    }
+    so::RegionIndex base = so::RegionIndex::FromEntries(model.base);
+    // The canonical sort may reorder; keep the model in lockstep.
+    model.base = base.entries();
+
+    uint64_t seq = 0;
+    const int op_count = static_cast<int>(rng.UniformRange(1, 30));
+    for (int i = 0; i < op_count; ++i) {
+      const Pre id = static_cast<Pre>(rng.UniformRange(1, 20));
+      if (rng.UniformRange(0, 2) == 0) {
+        model.Delete(id);
+        RunDelete(&run, id, ++seq);
+      } else {
+        const int64_t start = rng.UniformRange(0, 500);
+        const int64_t end = start + rng.UniformRange(0, 100);
+        model.Insert(start, end, id);
+        RunInsert(&run, start, end, id, ++seq);
+      }
+    }
+
+    const so::RegionIndex merged = so::MergeBaseDelta(base, run);
+    const so::RegionIndex rebuilt = so::RegionIndex::FromEntries(model.Final());
+    if (!ColumnsEqual(merged, rebuilt)) {
+      std::fprintf(stderr, "  seed %llu: merged %zu rows vs rebuilt %zu\n",
+                   static_cast<unsigned long long>(seed), merged.size(),
+                   rebuilt.size());
+      CHECK(false);
+    }
+  }
+}
+
+static void TestDeltaViewMatchesRebuiltAcrossGrid() {
+  std::vector<Slot> slots = MakeSlots();
+  const std::vector<DeltaOp> ops = ScriptDeltas(&slots);
+
+  for (uint32_t shards : {1u, 3u}) {
+    auto base = std::make_shared<storage::ShardedStore>(shards);
+    storage::ShardedStore oracle(shards);
+    // Two copies of the corpus: deltas land on doc 0 only, so doc 1
+    // also checks that untouched documents cost no merge.
+    CHECK_OK(base->AddDocumentText("d0", CorpusXml(slots, false)));
+    CHECK_OK(base->AddDocumentText("d1", CorpusXml(slots, false)));
+    CHECK_OK(oracle.AddDocumentText("d0", CorpusXml(slots, true)));
+    CHECK_OK(oracle.AddDocumentText("d1", CorpusXml(slots, false)));
+
+    storage::MutableStore mutable_store(base);
+    ApplyOps(&mutable_store, ops, 0);
+    auto view = mutable_store.View();
+    CHECK(view->live_insert_rows() > 0);
+    CHECK(view->live_tombstones() > 0);
+
+    for (simd::Level level : {simd::Level::kScalar, simd::Level::kAuto}) {
+      for (so::PlanMode mode :
+           {so::PlanMode::kAuto, so::PlanMode::kTopDown,
+            so::PlanMode::kBottomUpLast}) {
+        for (uint32_t threads : {1u, 4u}) {
+          for (storage::DocId doc : {storage::DocId{0}, storage::DocId{1}}) {
+            auto got =
+                RunGridPoint(view.get(), doc, level, mode, threads, shards);
+            auto want =
+                RunGridPoint(&oracle, doc, level, mode, threads, shards);
+            CHECK_OK(got);
+            CHECK_OK(want);
+            if (!got.ok() || !want.ok()) continue;
+            CHECK(got->context_ids == want->context_ids);
+            if (!(got->matches == want->matches)) {
+              std::fprintf(stderr,
+                           "  doc %u level %d mode %d nt=%u sc=%u: %zu vs "
+                           "%zu matches\n",
+                           doc, static_cast<int>(level),
+                           static_cast<int>(mode), threads, shards,
+                           got->matches.size(), want->matches.size());
+              CHECK(false);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+static void TestViewCachingAndEmptyDelta() {
+  auto base = std::make_shared<storage::ShardedStore>(1);
+  std::vector<Slot> slots = MakeSlots();
+  CHECK_OK(base->AddDocumentText("d0", CorpusXml(slots, false)));
+  storage::MutableStore mutable_store(base);
+
+  // No writes: repeated View() returns the SAME object (the engine
+  // reuse key), and its delta hooks report empty.
+  auto v1 = mutable_store.View();
+  auto v2 = mutable_store.View();
+  CHECK(v1.get() == v2.get());
+  CHECK_EQ(v1->delta_sequence(), uint64_t{0});
+  CHECK(v1->delta_run(0, DefaultFingerprint()) == nullptr);
+
+  // A write invalidates; the next view is new and carries the run.
+  CHECK_OK(mutable_store.InsertRegion(0, DefaultFingerprint(), 40, 60,
+                                      SlotPre(0)));
+  auto v3 = mutable_store.View();
+  CHECK(v3.get() != v1.get());
+  CHECK_EQ(v3->delta_sequence(), uint64_t{1});
+  CHECK(v3->delta_run(0, DefaultFingerprint()) != nullptr);
+  // The frozen earlier view still sees nothing (reader isolation).
+  CHECK(v1->delta_run(0, DefaultFingerprint()) == nullptr);
+}
+
+static void TestWriteValidation() {
+  auto base = std::make_shared<storage::ShardedStore>(1);
+  std::vector<Slot> slots = MakeSlots();
+  CHECK_OK(base->AddDocumentText("d0", CorpusXml(slots, false)));
+  storage::MutableStore mutable_store(base);
+
+  CHECK(!mutable_store.InsertRegion(9, DefaultFingerprint(), 0, 1, 1).ok());
+  CHECK(!mutable_store.InsertRegion(0, DefaultFingerprint(), 5, 4, 1).ok());
+  CHECK(!mutable_store
+             .InsertRegion(0, DefaultFingerprint(), 0, 1, Pre{1u << 30})
+             .ok());
+  CHECK(!mutable_store.DeleteRegions(7, DefaultFingerprint(), 1).ok());
+  CHECK_EQ(mutable_store.sequence(), uint64_t{0});
+}
+
+static void TestCompactionMidBatch() {
+  std::vector<Slot> slots = MakeSlots();
+  const std::vector<DeltaOp> ops = ScriptDeltas(&slots);
+  const std::string path = TempPath("delta_compact");
+
+  auto base = std::make_shared<storage::ShardedStore>(1);
+  CHECK_OK(base->AddDocumentText("d0", CorpusXml(slots, false)));
+  storage::MutableStore mutable_store(base);
+  ApplyOps(&mutable_store, ops, 0);
+
+  ThreadPool pool(2);
+  uint64_t compacted_seq = 0;
+  CHECK_OK(mutable_store.CompactToSnapshot(path, &pool, &compacted_seq));
+  CHECK_EQ(compacted_seq, mutable_store.sequence());
+
+  // Mid-compaction writes: issued AFTER the freeze, BEFORE adoption.
+  // Delete a region the compaction just folded into the base (a
+  // reinserted one), and insert a fresh one.
+  std::vector<size_t> bare, words;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].name != "word") continue;
+    (slots[i].has_final ? words : bare).push_back(i);
+  }
+  CHECK(!words.empty() && !bare.empty());
+  slots[words[0]].has_final = false;
+  CHECK_OK(mutable_store.DeleteRegions(0, DefaultFingerprint(),
+                                       SlotPre(words[0])));
+  slots[bare[0]].has_final = true;
+  slots[bare[0]].final_start = 123;
+  slots[bare[0]].final_end = 456;
+  CHECK_OK(mutable_store.InsertRegion(0, DefaultFingerprint(), 123, 456,
+                                      SlotPre(bare[0])));
+
+  auto snapshot = storage::Snapshot::Open(path);
+  CHECK_OK(snapshot);
+  if (!snapshot.ok()) return;
+  mutable_store.AdoptCompacted(compacted_seq, (*snapshot)->shared_store());
+  snapshot->reset();
+
+  CHECK_EQ(mutable_store.stats().compactions, uint64_t{1});
+  // Rebased runs hold exactly the two post-freeze ops.
+  auto view = mutable_store.View();
+  CHECK_EQ(view->live_insert_rows(), size_t{1});
+  CHECK_EQ(view->live_tombstones(), size_t{1});
+
+  // Full differential: compacted base + rebased delta == rebuilt final.
+  storage::ShardedStore oracle(1);
+  CHECK_OK(oracle.AddDocumentText("d0", CorpusXml(slots, true)));
+  for (uint32_t threads : {1u, 4u}) {
+    auto got = RunGridPoint(view.get(), 0, simd::Level::kAuto,
+                            so::PlanMode::kAuto, threads, 1);
+    auto want = RunGridPoint(&oracle, 0, simd::Level::kAuto,
+                             so::PlanMode::kAuto, threads, 1);
+    CHECK_OK(got);
+    CHECK_OK(want);
+    if (got.ok() && want.ok()) {
+      CHECK(got->context_ids == want->context_ids);
+      CHECK(got->matches == want->matches);
+    }
+  }
+
+  // A second compaction with NO pending ops at the frozen point must
+  // leave runs empty afterwards.
+  const std::string path2 = TempPath("delta_compact2");
+  uint64_t seq2 = 0;
+  CHECK_OK(mutable_store.CompactToSnapshot(path2, &pool, &seq2));
+  auto reopened = storage::Snapshot::Open(path2);
+  CHECK_OK(reopened);
+  if (reopened.ok()) {
+    mutable_store.AdoptCompacted(seq2, (*reopened)->shared_store());
+    auto final_view = mutable_store.View();
+    CHECK_EQ(final_view->live_insert_rows(), size_t{0});
+    CHECK_EQ(final_view->live_tombstones(), size_t{0});
+    auto got = RunGridPoint(final_view.get(), 0, simd::Level::kAuto,
+                            so::PlanMode::kAuto, 1, 1);
+    auto want = RunGridPoint(&oracle, 0, simd::Level::kAuto,
+                             so::PlanMode::kAuto, 1, 1);
+    CHECK_OK(got);
+    CHECK_OK(want);
+    if (got.ok() && want.ok()) CHECK(got->matches == want->matches);
+  }
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+int main() {
+  RUN_TEST(TestMergeBaseDeltaRandomOps);
+  RUN_TEST(TestDeltaViewMatchesRebuiltAcrossGrid);
+  RUN_TEST(TestViewCachingAndEmptyDelta);
+  RUN_TEST(TestWriteValidation);
+  RUN_TEST(TestCompactionMidBatch);
+  TEST_MAIN();
+}
