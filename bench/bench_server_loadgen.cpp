@@ -63,6 +63,7 @@ struct Options {
   double duration = 2.0;     // seconds
   uint32_t queue = 8;        // in-process admission capacity
   uint32_t workers = 2;      // in-process pool workers
+  uint32_t retry_attempts = 4;  // Query attempts per arrival (1 = off)
   bool swap = false;
   std::string swap_path;     // --connect swap target
   double scale = 0.02;       // bootstrap corpus scale
@@ -104,7 +105,8 @@ double Percentile(const std::vector<double>& sorted, double q) {
 struct RunTotals {
   std::vector<double> latencies_us;  // admitted queries only
   uint64_t ok = 0;
-  uint64_t busy = 0;
+  uint64_t busy = 0;     // still busy after the retry budget
+  uint64_t retries = 0;  // extra attempts spent on transient busy
   uint64_t errors = 0;
 };
 
@@ -130,6 +132,8 @@ int main(int argc, char** argv) {
       opt.queue = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (TakeFlag(argv[i], "--workers", &value)) {
       opt.workers = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (TakeFlag(argv[i], "--retry-attempts", &value)) {
+      opt.retry_attempts = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (std::strcmp(argv[i], "--swap") == 0) {
       opt.swap = true;
     } else if (TakeFlag(argv[i], "--swap-path", &value)) {
@@ -226,6 +230,12 @@ int main(int argc, char** argv) {
         return;
       }
       RunTotals& mine = totals[t];
+      // Transient busy rejections are retried with backoff+jitter
+      // instead of being dropped: the retry wait is part of the
+      // latency the percentiles report (it happened to the arrival).
+      standoff::server::QueryRetryOptions retry;
+      retry.max_attempts = static_cast<int>(std::max(1u, opt.retry_attempts));
+      retry.jitter_seed = 0x10AD6E5ULL + t;
       for (;;) {
         const uint64_t index = next_arrival.fetch_add(1);
         const auto scheduled =
@@ -234,8 +244,8 @@ int main(int argc, char** argv) {
                             static_cast<double>(index) / opt.rate));
         if (scheduled >= deadline) break;
         std::this_thread::sleep_until(scheduled);  // no-op when behind
-        auto reply =
-            (*client)->Query(mix[static_cast<size_t>(index) % mix.size()]);
+        auto reply = (*client)->QueryWithRetry(
+            mix[static_cast<size_t>(index) % mix.size()], retry);
         const auto finished = Clock::now();
         if (!reply.ok()) {
           mine.errors += 1;
@@ -243,8 +253,9 @@ int main(int argc, char** argv) {
                        reply.status().ToString().c_str());
           continue;
         }
+        mine.retries += static_cast<uint64_t>(reply->attempts - 1);
         if (reply->busy) {
-          mine.busy += 1;
+          mine.busy += 1;  // retry budget exhausted, still shedding
           continue;
         }
         mine.ok += 1;
@@ -293,6 +304,7 @@ int main(int argc, char** argv) {
   for (auto& per_thread : totals) {
     all.ok += per_thread.ok;
     all.busy += per_thread.busy;
+    all.retries += per_thread.retries;
     all.errors += per_thread.errors;
     all.latencies_us.insert(all.latencies_us.end(),
                             per_thread.latencies_us.begin(),
@@ -317,11 +329,13 @@ int main(int argc, char** argv) {
 #endif
 
   std::fprintf(stderr,
-               "sent=%llu ok=%llu busy=%llu errors=%llu swaps=%llu "
-               "qps=%.1f mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus\n",
+               "sent=%llu ok=%llu busy=%llu retries=%llu errors=%llu "
+               "swaps=%llu qps=%.1f mean=%.0fus p50=%.0fus p95=%.0fus "
+               "p99=%.0fus\n",
                static_cast<unsigned long long>(sent),
                static_cast<unsigned long long>(all.ok),
                static_cast<unsigned long long>(all.busy),
+               static_cast<unsigned long long>(all.retries),
                static_cast<unsigned long long>(all.errors),
                static_cast<unsigned long long>(swaps_done.load()), qps, mean,
                p50, p95, p99);
@@ -335,9 +349,10 @@ int main(int argc, char** argv) {
   std::printf("    \"executable\": \"bench_server_loadgen\"\n");
   std::printf("  },\n");
   std::printf("  \"benchmarks\": [\n");
-  auto emit = [](const char* name, double cpu_us, uint64_t iterations,
-                 double p50_us, double p95_us, double p99_us, double qps_v,
-                 uint64_t busy, uint64_t swaps, bool last) {
+  auto emit = [&all](const char* name, double cpu_us, uint64_t iterations,
+                     double p50_us, double p95_us, double p99_us,
+                     double qps_v, uint64_t busy, uint64_t swaps,
+                     bool last) {
     std::printf("    {\n");
     std::printf("      \"name\": \"%s\",\n", name);
     std::printf("      \"run_name\": \"%s\",\n", name);
@@ -353,6 +368,8 @@ int main(int argc, char** argv) {
     std::printf("      \"queries_per_s\": %.3f,\n", qps_v);
     std::printf("      \"busy_rejections\": %llu,\n",
                 static_cast<unsigned long long>(busy));
+    std::printf("      \"busy_retries\": %llu,\n",
+                static_cast<unsigned long long>(all.retries));
     std::printf("      \"swaps\": %llu\n",
                 static_cast<unsigned long long>(swaps));
     std::printf("    }%s\n", last ? "" : ",");

@@ -130,6 +130,14 @@ class Benchmark {
     unit_ = unit;
     return this;
   }
+  /// Per-benchmark floor on the measured window; overrides the
+  /// --benchmark_min_time flag (gbench semantics). For ratio-gated
+  /// pairs whose per-iteration cost is large enough that a short flag
+  /// value would leave single-digit iteration counts.
+  Benchmark* MinTime(double seconds) {
+    min_time_ = seconds;
+    return this;
+  }
   Benchmark* Apply(void (*custom)(Benchmark*)) {
     custom(this);
     return this;
@@ -138,6 +146,7 @@ class Benchmark {
   const std::string& name() const { return name_; }
   Function* fn() const { return fn_; }
   TimeUnit unit() const { return unit_; }
+  double min_time() const { return min_time_; }
   const std::vector<std::vector<int64_t>>& arg_lists() const {
     return arg_lists_;
   }
@@ -148,6 +157,7 @@ class Benchmark {
   std::string name_;
   Function* fn_ = nullptr;
   TimeUnit unit_ = kNanosecond;
+  double min_time_ = 0;  // 0 = use the --benchmark_min_time flag
   std::vector<std::vector<int64_t>> arg_lists_;
 };
 

@@ -143,6 +143,8 @@ class BenchmarkRunner {
     for (int64_t arg : args) result.name += "/" + std::to_string(arg);
     result.unit = bench.unit();
 
+    const double min_time =
+        bench.min_time() > 0 ? bench.min_time() : flags.min_time;
     int64_t iters =
         flags.fixed_iterations > 0 ? flags.fixed_iterations : 1;
     for (;;) {
@@ -158,7 +160,7 @@ class BenchmarkRunner {
       const double wall = state.wall_seconds_;
       const double cpu = state.cpu_seconds_;
       const bool enough = flags.fixed_iterations > 0 ||
-                          wall >= flags.min_time ||
+                          wall >= min_time ||
                           iters >= (int64_t{1} << 40);
       if (enough) {
         const double scale = UnitScale(bench.unit());
@@ -179,7 +181,7 @@ class BenchmarkRunner {
       // Overshoot slightly (gbench multiplies by 1.4) so the next run
       // clears min_time in one go; growth is clamped to 10x.
       double multiplier =
-          flags.min_time * 1.4 / std::max(wall, 1e-9);
+          min_time * 1.4 / std::max(wall, 1e-9);
       multiplier = std::min(10.0, std::max(2.0, multiplier));
       iters = static_cast<int64_t>(static_cast<double>(iters) * multiplier);
     }

@@ -5,8 +5,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+
+#include "common/rng.h"
+#include "common/timer.h"
 
 namespace standoff {
 namespace server {
@@ -18,6 +23,18 @@ Status DecodeError(const std::string& body) {
   if (body.empty()) return Status::Internal("empty error frame");
   const auto code = static_cast<StatusCode>(static_cast<uint8_t>(body[0]));
   return Status(code, body.substr(1));
+}
+
+/// Pulls `deadline_ms=<n>` out of the query text (same syntax the
+/// server's ParseQueryText accepts) so the retry loop can treat it as
+/// the total budget. 0 = no deadline.
+double DeadlineSecondsOf(const std::string& text) {
+  const size_t pos = text.find("deadline_ms=");
+  if (pos == std::string::npos) return 0;
+  const char* digits = text.c_str() + pos + 12;
+  char* end = nullptr;
+  const double ms = std::strtod(digits, &end);
+  return end != digits && ms > 0 ? ms / 1000.0 : 0;
 }
 
 }  // namespace
@@ -109,6 +126,33 @@ StatusOr<QueryReply> Client::Query(const std::string& text) {
     return Status::Internal("result stream ended short");
   }
   return out;
+}
+
+StatusOr<QueryReply> Client::QueryWithRetry(const std::string& text,
+                                            const QueryRetryOptions& options) {
+  const double deadline_seconds = DeadlineSecondsOf(text);
+  Timer timer;
+  Rng rng(options.jitter_seed != 0
+              ? options.jitter_seed
+              : 0x9E3779B97F4A7C15ULL ^ static_cast<uint64_t>(fd_));
+  double backoff_ms = options.initial_backoff_ms;
+  const int attempts = std::max(1, options.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    auto reply = Query(text);
+    if (!reply.ok()) return reply;  // hard error: no retry
+    reply->attempts = attempt;
+    if (!reply->busy || attempt >= attempts) return reply;
+    // Full jitter in [backoff/2, backoff): decorrelates a thundering
+    // herd of clients that all got rejected by the same burst.
+    double sleep_ms = backoff_ms * (0.5 + 0.5 * rng.NextDouble());
+    if (deadline_seconds > 0) {
+      const double remaining_ms =
+          (deadline_seconds - timer.ElapsedSeconds()) * 1000.0;
+      if (remaining_ms <= sleep_ms) return reply;  // budget spent: stay busy
+    }
+    ::usleep(static_cast<useconds_t>(sleep_ms * 1000.0));
+    backoff_ms = std::min(backoff_ms * 2.0, options.max_backoff_ms);
+  }
 }
 
 StatusOr<uint64_t> Client::Swap(const std::string& path) {
@@ -215,9 +259,11 @@ StatusOr<ServerStats> Client::Stats() {
     *field = *value;
   }
   // Appended by protocol 2; absent (and zero) on an older server.
-  uint64_t* tail[] = {&stats.delta_inserts, &stats.delta_deletes,
-                      &stats.delta_live_rows, &stats.delta_live_tombstones,
-                      &stats.compactions};
+  uint64_t* tail[] = {&stats.delta_inserts,      &stats.delta_deletes,
+                      &stats.delta_live_rows,    &stats.delta_live_tombstones,
+                      &stats.compactions,        &stats.wal_appends,
+                      &stats.wal_fsyncs,         &stats.wal_replayed_ops,
+                      &stats.wal_truncated_bytes, &stats.auto_compactions};
   for (uint64_t* field : tail) {
     if (off + 8 > reply->body.size()) break;
     auto value = TakeU64(reply->body, &off);

@@ -24,6 +24,19 @@ struct QueryReply {
   uint64_t rows = 0;
   std::string payload;       // the reassembled chunk bytes
   uint64_t server_micros = 0;
+  /// Query attempts consumed (always 1 for plain Query; >= 1 for
+  /// QueryWithRetry, counting the busy rounds).
+  int attempts = 1;
+};
+
+/// Backoff policy for Client::QueryWithRetry.
+struct QueryRetryOptions {
+  /// Total Query attempts (first try included). 1 = no retry.
+  int max_attempts = 5;
+  double initial_backoff_ms = 1.0;
+  double max_backoff_ms = 50.0;
+  /// Jitter seed; 0 derives one from the socket fd.
+  uint64_t jitter_seed = 0;
 };
 
 class Client {
@@ -42,6 +55,17 @@ class Client {
   /// bad doc ids, engine errors) come back as the error Status with the
   /// server's code and message; kBusy comes back OK with busy=true.
   StatusOr<QueryReply> Query(const std::string& text);
+
+  /// Query, but busy-backpressure rejections retry with capped
+  /// exponential backoff + jitter instead of surfacing immediately —
+  /// transient admission rejects stop looking like failures. Hard
+  /// errors return at once. If the query text carries `deadline_ms=`,
+  /// the retry loop honors it as a total budget: no sleep ever extends
+  /// past the deadline. When every attempt came back busy, the reply
+  /// has busy=true (still not an error) with `attempts` filled in.
+  StatusOr<QueryReply> QueryWithRetry(
+      const std::string& text,
+      const QueryRetryOptions& options = QueryRetryOptions());
 
   /// Asks the server to hot-swap to `path`; returns the new generation.
   StatusOr<uint64_t> Swap(const std::string& path);
@@ -70,9 +94,9 @@ class Client {
   /// path lets the server choose a sibling of its boot snapshot.
   StatusOr<CompactReply> Compact(const std::string& path = "");
 
-  /// Reads the server's counters. The five delta/compaction fields are
-  /// zero when the server predates the write protocol (its kStatsRep
-  /// body simply ends earlier).
+  /// Reads the server's counters. Tail fields (delta/compaction, WAL,
+  /// auto-compaction) are zero when the server predates them — its
+  /// kStatsRep body simply ends earlier.
   StatusOr<ServerStats> Stats();
 
   /// The raw socket, for tests that need to write malformed bytes.

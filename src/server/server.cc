@@ -108,7 +108,24 @@ Server::Server(ServerConfig config)
 
 StatusOr<std::unique_ptr<Server>> Server::Start(
     const std::string& snapshot_path, const ServerConfig& config) {
-  auto snapshot = storage::Snapshot::Open(snapshot_path);
+  // Boot-time WAL recovery (DESIGN.md §16) happens BEFORE the snapshot
+  // opens: the log's newest segment header may point at a compacted
+  // generation that supersedes the boot snapshot.
+  const bool wal_enabled = !config.wal_dir.empty();
+  storage::WalOptions wal_options;
+  storage::WalRecoveryResult recovery;
+  if (wal_enabled) {
+    wal_options.dir = config.wal_dir;
+    wal_options.sync = config.wal_sync;
+    wal_options.sync_interval_ms = config.wal_sync_interval_ms;
+    wal_options.io = config.wal_io;
+    auto replayed = storage::ReplayWal(wal_options);
+    if (!replayed.ok()) return replayed.status();
+    recovery = replayed.MoveValueUnsafe();
+  }
+  const std::string base_path =
+      recovery.base_path.empty() ? snapshot_path : recovery.base_path;
+  auto snapshot = storage::Snapshot::Open(base_path);
   if (!snapshot.ok()) return snapshot.status();
 
   std::unique_ptr<Server> server(new Server(config));
@@ -117,6 +134,17 @@ StatusOr<std::unique_ptr<Server>> Server::Start(
   server->mutable_store_ =
       std::make_unique<storage::MutableStore>((*snapshot)->shared_store());
   snapshot->reset();  // the shared store keeps the mapping alive
+  if (wal_enabled) {
+    // Re-apply the acknowledged writes the log holds, then open a
+    // fresh segment (pinned to the recovered base) for new writes.
+    STANDOFF_RETURN_IF_ERROR(server->mutable_store_->Restore(recovery));
+    server->wal_replayed_ops_ = recovery.ops.size();
+    server->wal_truncated_bytes_ = recovery.truncated_bytes;
+    auto wal = storage::Wal::Open(wal_options, recovery);
+    if (!wal.ok()) return wal.status();
+    server->wal_ = wal.MoveValueUnsafe();
+    server->mutable_store_->AttachWal(server->wal_.get());
+  }
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -152,6 +180,32 @@ StatusOr<std::unique_ptr<Server>> Server::Start(
   server->listen_fd_ = fd;
 
   server->pool_ = std::make_unique<ThreadPool>(config.pool_workers);
+  if (config.compact_live_rows_threshold > 0) {
+    // Threshold-triggered auto-compaction rides the shared pool: the
+    // write that crosses the threshold schedules the task (outside the
+    // store lock) and MutableStore keeps the latch set until the
+    // compaction is adopted or reported failed.
+    Server* raw = server.get();
+    server->mutable_store_->SetAutoCompact(
+        config.compact_live_rows_threshold, [raw] {
+          raw->pool_->Submit([raw] {
+            if (raw->stopping_.load(std::memory_order_acquire)) {
+              raw->mutable_store_->AutoCompactDone();
+              return;
+            }
+            uint64_t seq = 0;
+            // From a pool worker the merges may only fan out when a
+            // SECOND worker exists to run ParallelFor's helper tasks.
+            ThreadPool* merge_pool =
+                raw->config_.pool_workers >= 2 ? raw->pool_.get() : nullptr;
+            if (raw->CompactWith("", &seq, merge_pool).ok()) {
+              raw->auto_compactions_.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              raw->mutable_store_->AutoCompactDone();
+            }
+          });
+        });
+  }
   server->accept_thread_ = std::thread([raw = server.get()] {
     raw->AcceptLoop();
   });
@@ -183,6 +237,14 @@ ServerStats Server::stats() const {
   out.delta_live_rows = delta.live_insert_rows;
   out.delta_live_tombstones = delta.live_tombstones;
   out.compactions = delta.compactions;
+  if (wal_ != nullptr) {
+    const storage::WalStats wal = wal_->stats();
+    out.wal_appends = wal.appends;
+    out.wal_fsyncs = wal.fsyncs;
+    out.wal_replayed_ops = wal_replayed_ops_;
+    out.wal_truncated_bytes = wal_truncated_bytes_;
+  }
+  out.auto_compactions = auto_compactions_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -198,8 +260,10 @@ StatusOr<uint64_t> Server::SwapSnapshot(const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     generation = ++generation_;
-    // Deltas reference the replaced base's documents and drop with it.
-    mutable_store_->ResetBase(std::move(fresh));
+    // Deltas reference the replaced base's documents and drop with it;
+    // with a WAL the log rotates to a segment pinned to `path`, so a
+    // crash after the swap recovers the new base, not the old writes.
+    mutable_store_->ResetBase(std::move(fresh), path);
     // The old generation's shared_ptr just dropped; its mapping
     // unmaps when the last in-flight query or connection engine
     // releases its reference. That IS the drain.
@@ -210,6 +274,12 @@ StatusOr<uint64_t> Server::SwapSnapshot(const std::string& path) {
 
 StatusOr<uint64_t> Server::Compact(const std::string& path,
                                    uint64_t* compacted_seq) {
+  return CompactWith(path, compacted_seq, pool_.get());
+}
+
+StatusOr<uint64_t> Server::CompactWith(const std::string& path,
+                                       uint64_t* compacted_seq,
+                                       ThreadPool* merge_pool) {
   // One base replacement at a time; writes and queries proceed — the
   // freeze inside CompactToSnapshot is the only synchronization they
   // see, and writes landing after it survive the rebase.
@@ -220,7 +290,7 @@ StatusOr<uint64_t> Server::Compact(const std::string& path,
   }
   uint64_t frozen_seq = 0;
   STANDOFF_RETURN_IF_ERROR(
-      mutable_store_->CompactToSnapshot(target, pool_.get(), &frozen_seq));
+      mutable_store_->CompactToSnapshot(target, merge_pool, &frozen_seq));
   auto snapshot = storage::Snapshot::Open(target);
   if (!snapshot.ok()) return snapshot.status();
   std::shared_ptr<const storage::ShardedStore> fresh =
@@ -231,7 +301,10 @@ StatusOr<uint64_t> Server::Compact(const std::string& path,
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     generation = ++generation_;
-    mutable_store_->AdoptCompacted(frozen_seq, std::move(fresh));
+    // SaveSnapshot's atomic rename already landed, so recording
+    // `target` in the rotated WAL segment is safe: a crash from here
+    // on recovers the compacted base + the seq > frozen_seq tail.
+    mutable_store_->AdoptCompacted(frozen_seq, std::move(fresh), target);
   }
   swaps_.fetch_add(1, std::memory_order_relaxed);
   *compacted_seq = frozen_seq;
@@ -580,6 +653,11 @@ void Server::SendStats(int fd) {
   AppendU64(&body, stats.delta_live_rows);
   AppendU64(&body, stats.delta_live_tombstones);
   AppendU64(&body, stats.compactions);
+  AppendU64(&body, stats.wal_appends);
+  AppendU64(&body, stats.wal_fsyncs);
+  AppendU64(&body, stats.wal_replayed_ops);
+  AppendU64(&body, stats.wal_truncated_bytes);
+  AppendU64(&body, stats.auto_compactions);
   WriteFrame(fd, MsgType::kStatsRep, body);
 }
 

@@ -43,6 +43,7 @@
 #include "storage/delta.h"
 #include "storage/sharded_store.h"
 #include "storage/snapshot.h"
+#include "storage/wal.h"
 #include "xquery/engine.h"
 
 namespace standoff {
@@ -61,6 +62,21 @@ struct ServerConfig {
   uint32_t max_connections = 64;
   /// Per-query engine timeout in seconds; <= 0 means unlimited.
   double query_timeout_seconds = 0;
+  /// Write-ahead durability (DESIGN.md §16). Empty = no WAL: writes
+  /// are memory-only until an explicit compaction, exactly the PR-9
+  /// behavior. Non-empty: the directory is created if needed, boot
+  /// replays it (recovering every acknowledged write and truncating a
+  /// torn tail), and each accepted write is logged before its ack.
+  std::string wal_dir;
+  storage::WalSyncPolicy wal_sync = storage::WalSyncPolicy::kAlways;
+  double wal_sync_interval_ms = 5.0;
+  /// Test hook: overrides the WAL's file I/O (fault injection). Null =
+  /// real POSIX I/O. Must outlive the server.
+  storage::FileIo* wal_io = nullptr;
+  /// Threshold-triggered auto-compaction: when pending delta rows +
+  /// tombstones reach this, a compaction is scheduled on the shared
+  /// pool (at most one in flight). 0 disables.
+  uint64_t compact_live_rows_threshold = 0;
 };
 
 struct ServerStats {
@@ -83,6 +99,17 @@ struct ServerStats {
   uint64_t delta_live_rows = 0;
   uint64_t delta_live_tombstones = 0;
   uint64_t compactions = 0;
+  /// WAL durability counters (DESIGN.md §16): appends/fsyncs since
+  /// boot, operations recovered by boot-time replay, bytes dropped
+  /// from a torn tail at that replay, and completed threshold-
+  /// triggered compactions. All zero when the WAL is off. Appended to
+  /// kStatsRep after the fields above (offset-parsed tail: versions
+  /// only ever APPEND fields).
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_replayed_ops = 0;
+  uint64_t wal_truncated_bytes = 0;
+  uint64_t auto_compactions = 0;
 };
 
 /// Bounded admission: TryEnter either reserves a slot or reports the
@@ -161,6 +188,13 @@ class Server {
   bool HandleDelete(int fd, const std::string& body);
   bool HandleCompact(int fd, const std::string& body);
   void SendStats(int fd);
+  /// Compact() body with an explicit merge pool — the threshold-
+  /// triggered path runs ON a pool worker and must not hand the
+  /// parallel merges to a 1-worker pool (ParallelFor's helper task
+  /// would sit behind the waiting caller forever).
+  StatusOr<uint64_t> CompactWith(const std::string& path,
+                                 uint64_t* compacted_seq,
+                                 ThreadPool* merge_pool);
 
   const ServerConfig config_;
   uint16_t port_ = 0;
@@ -177,6 +211,11 @@ class Server {
   /// (generation, delta sequence) view at admission. Set once in
   /// Start(), before any thread exists; never null afterwards.
   std::unique_ptr<storage::MutableStore> mutable_store_;
+  /// Write-ahead log; null when config.wal_dir is empty. Outlives
+  /// every write (destroyed after Stop() joined all threads).
+  std::unique_ptr<storage::Wal> wal_;
+  uint64_t wal_replayed_ops_ = 0;     // set once at boot
+  uint64_t wal_truncated_bytes_ = 0;  // set once at boot
 
   AdmissionGate gate_;
   std::unique_ptr<ThreadPool> pool_;
@@ -196,6 +235,7 @@ class Server {
   std::atomic<uint64_t> subplan_hits_{0};
   std::atomic<uint64_t> subplan_misses_{0};
   std::atomic<uint64_t> subplan_evictions_{0};
+  std::atomic<uint64_t> auto_compactions_{0};
 };
 
 }  // namespace server

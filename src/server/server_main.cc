@@ -3,9 +3,17 @@
 //
 //   standoff_server --snapshot=/path/to/file.sosnap [--port=0]
 //                   [--workers=2] [--queue=8] [--max-connections=64]
+//                   [--wal-dir=DIR] [--wal-sync=always|interval|none]
+//                   [--wal-sync-ms=5] [--compact-threshold=N]
 //   standoff_server --bootstrap-xmark=/path/to/file.sosnap
 //                   [--scale=0.02] [--docs=4] [--shards=2]
 //                   [--bootstrap-only]
+//
+// --wal-dir enables crash-safe write-ahead durability (DESIGN.md §16):
+// boot replays the log (recovering acknowledged writes, truncating a
+// torn tail) and every accepted write is logged before its ack.
+// --compact-threshold=N triggers a background compaction whenever N
+// delta rows+tombstones are pending.
 //
 // With --bootstrap-xmark the snapshot is (re)built first, then served;
 // --bootstrap-only exits right after the build (CI uses this to stage
@@ -71,6 +79,24 @@ int main(int argc, char** argv) {
     } else if (TakeFlag(argv[i], "--max-connections", &value)) {
       config.max_connections =
           static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (TakeFlag(argv[i], "--wal-dir", &value)) {
+      config.wal_dir = value;
+    } else if (TakeFlag(argv[i], "--wal-sync", &value)) {
+      if (value == "always") {
+        config.wal_sync = standoff::storage::WalSyncPolicy::kAlways;
+      } else if (value == "interval") {
+        config.wal_sync = standoff::storage::WalSyncPolicy::kEveryNMs;
+      } else if (value == "none") {
+        config.wal_sync = standoff::storage::WalSyncPolicy::kNone;
+      } else {
+        std::fprintf(stderr, "--wal-sync wants always|interval|none\n");
+        return 2;
+      }
+    } else if (TakeFlag(argv[i], "--wal-sync-ms", &value)) {
+      config.wal_sync_interval_ms = std::atof(value.c_str());
+    } else if (TakeFlag(argv[i], "--compact-threshold", &value)) {
+      config.compact_live_rows_threshold =
+          static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (std::strcmp(argv[i], "--bootstrap-only") == 0) {
       bootstrap_only = true;
     } else {

@@ -46,13 +46,14 @@ size_t DeltaStoreView::live_tombstones() const {
 MutableStore::MutableStore(std::shared_ptr<const ShardedStore> base)
     : base_(std::move(base)) {}
 
-StatusOr<uint64_t> MutableStore::InsertRegion(
-    DocId doc, const std::string& config_fingerprint, int64_t start,
-    int64_t end, Pre id) {
+void MutableStore::AttachWal(Wal* wal) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (doc >= base_->document_count()) {
-    return Status::NotFound("no document " + std::to_string(doc));
-  }
+  wal_ = wal;
+}
+
+Status MutableStore::CheckInsertLocked(DocId doc, int64_t start, int64_t end,
+                                       Pre id) const {
+  STANDOFF_RETURN_IF_ERROR(CheckDocLocked(doc));
   const NodeTable& table = base_->table(doc);
   if (id >= table.size() || !table.IsElement(id)) {
     return Status::Invalid("insert id " + std::to_string(id) +
@@ -62,10 +63,23 @@ StatusOr<uint64_t> MutableStore::InsertRegion(
   if (end < start) {
     return Status::Invalid("region ends before it starts");
   }
+  return Status::OK();
+}
+
+Status MutableStore::CheckDocLocked(DocId doc) const {
+  if (doc >= base_->document_count()) {
+    return Status::NotFound("no document " + std::to_string(doc));
+  }
+  return Status::OK();
+}
+
+void MutableStore::ApplyInsertLocked(DocId doc,
+                                     const std::string& config_fingerprint,
+                                     int64_t start, int64_t end, Pre id,
+                                     uint64_t seq) {
   std::shared_ptr<const DeltaRun>& slot =
       runs_[Key(doc, config_fingerprint)];
   auto fresh = std::make_shared<DeltaRun>(slot ? *slot : DeltaRun{});
-  const uint64_t seq = ++seq_;
   const DeltaInsert insert{start, end, id, seq};
   fresh->inserts.insert(std::upper_bound(fresh->inserts.begin(),
                                          fresh->inserts.end(), insert,
@@ -74,26 +88,24 @@ StatusOr<uint64_t> MutableStore::InsertRegion(
   fresh->seq = seq;
   slot = std::move(fresh);
   ++inserts_total_;
+  ++live_rows_;
   InvalidateViewLocked();
-  return seq;
 }
 
-StatusOr<uint64_t> MutableStore::DeleteRegions(
-    DocId doc, const std::string& config_fingerprint, Pre id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (doc >= base_->document_count()) {
-    return Status::NotFound("no document " + std::to_string(doc));
-  }
+void MutableStore::ApplyDeleteLocked(DocId doc,
+                                     const std::string& config_fingerprint,
+                                     Pre id, uint64_t seq) {
   std::shared_ptr<const DeltaRun>& slot =
       runs_[Key(doc, config_fingerprint)];
   auto fresh = std::make_shared<DeltaRun>(slot ? *slot : DeltaRun{});
-  const uint64_t seq = ++seq_;
   // Pending inserts of the id die here — at merge time every insert row
   // is live and tombstones judge base rows only (see delta.h).
+  const size_t before = fresh->inserts.size();
   fresh->inserts.erase(
       std::remove_if(fresh->inserts.begin(), fresh->inserts.end(),
                      [id](const DeltaInsert& i) { return i.id == id; }),
       fresh->inserts.end());
+  live_rows_ -= before - fresh->inserts.size();
   auto it = std::lower_bound(
       fresh->tombstones.begin(), fresh->tombstones.end(), id,
       [](const DeltaTombstone& t, Pre value) { return t.id < value; });
@@ -101,12 +113,124 @@ StatusOr<uint64_t> MutableStore::DeleteRegions(
     it->seq = seq;  // the latest delete wins the rebase filter
   } else {
     fresh->tombstones.insert(it, DeltaTombstone{id, seq});
+    ++live_tombstones_;
   }
   fresh->seq = seq;
   slot = std::move(fresh);
   ++deletes_total_;
   InvalidateViewLocked();
+}
+
+void MutableStore::RecountLiveLocked() {
+  live_rows_ = 0;
+  live_tombstones_ = 0;
+  for (const auto& [key, run] : runs_) {
+    if (!run) continue;
+    live_rows_ += run->inserts.size();
+    live_tombstones_ += run->tombstones.size();
+  }
+}
+
+std::function<void()> MutableStore::MaybeTriggerAutoCompactLocked() {
+  if (auto_compact_threshold_ == 0 || auto_compact_inflight_ ||
+      live_rows_ + live_tombstones_ < auto_compact_threshold_) {
+    return nullptr;
+  }
+  auto_compact_inflight_ = true;
+  ++auto_compact_triggers_;
+  return auto_compact_schedule_;
+}
+
+StatusOr<uint64_t> MutableStore::InsertRegion(
+    DocId doc, const std::string& config_fingerprint, int64_t start,
+    int64_t end, Pre id) {
+  std::function<void()> schedule;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STANDOFF_RETURN_IF_ERROR(CheckInsertLocked(doc, start, end, id));
+    if (wal_ != nullptr) {
+      // Durability before publication: if the log can't hold the op,
+      // the op does not happen and the caller sees the failure.
+      WalRecord record;
+      record.op = WalRecord::Op::kInsert;
+      record.seq = seq_ + 1;
+      record.doc = doc;
+      record.id = id;
+      record.start = start;
+      record.end = end;
+      record.fingerprint = config_fingerprint;
+      STANDOFF_RETURN_IF_ERROR(wal_->Append(record));
+    }
+    seq = ++seq_;
+    ApplyInsertLocked(doc, config_fingerprint, start, end, id, seq);
+    schedule = MaybeTriggerAutoCompactLocked();
+  }
+  if (schedule) schedule();
   return seq;
+}
+
+StatusOr<uint64_t> MutableStore::DeleteRegions(
+    DocId doc, const std::string& config_fingerprint, Pre id) {
+  std::function<void()> schedule;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STANDOFF_RETURN_IF_ERROR(CheckDocLocked(doc));
+    if (wal_ != nullptr) {
+      WalRecord record;
+      record.op = WalRecord::Op::kDelete;
+      record.seq = seq_ + 1;
+      record.doc = doc;
+      record.id = id;
+      record.fingerprint = config_fingerprint;
+      STANDOFF_RETURN_IF_ERROR(wal_->Append(record));
+    }
+    seq = ++seq_;
+    ApplyDeleteLocked(doc, config_fingerprint, id, seq);
+    schedule = MaybeTriggerAutoCompactLocked();
+  }
+  if (schedule) schedule();
+  return seq;
+}
+
+Status MutableStore::Restore(const WalRecoveryResult& recovery) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seq_ != 0 || !runs_.empty()) {
+    return Status::FailedPrecondition("Restore requires a pristine store");
+  }
+  for (const WalRecord& op : recovery.ops) {
+    if (op.seq <= seq_) {
+      return Status::Internal("wal replay: non-monotone sequence " +
+                              std::to_string(op.seq));
+    }
+    if (op.op == WalRecord::Op::kInsert) {
+      STANDOFF_RETURN_IF_ERROR(
+          CheckInsertLocked(op.doc, op.start, op.end, op.id));
+      ApplyInsertLocked(op.doc, op.fingerprint, op.start, op.end, op.id,
+                        op.seq);
+    } else {
+      STANDOFF_RETURN_IF_ERROR(CheckDocLocked(op.doc));
+      ApplyDeleteLocked(op.doc, op.fingerprint, op.id, op.seq);
+    }
+    seq_ = op.seq;
+  }
+  if (recovery.max_seq > seq_) seq_ = recovery.max_seq;
+  InvalidateViewLocked();
+  return Status::OK();
+}
+
+void MutableStore::SetAutoCompact(uint64_t threshold,
+                                  std::function<void()> schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_compact_threshold_ = threshold;
+  auto_compact_schedule_ = std::move(schedule);
+  auto_compact_inflight_ = false;
+}
+
+void MutableStore::AutoCompactDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_compact_inflight_ = false;
 }
 
 std::shared_ptr<const DeltaStoreView> MutableStore::View() const {
@@ -137,11 +261,9 @@ DeltaStats MutableStore::stats() const {
   out.inserts_total = inserts_total_;
   out.deletes_total = deletes_total_;
   out.compactions = compactions_;
-  for (const auto& [key, run] : runs_) {
-    if (!run) continue;
-    out.live_insert_rows += run->inserts.size();
-    out.live_tombstones += run->tombstones.size();
-  }
+  out.auto_compact_triggers = auto_compact_triggers_;
+  out.live_insert_rows = live_rows_;
+  out.live_tombstones = live_tombstones_;
   return out;
 }
 
@@ -222,7 +344,8 @@ Status MutableStore::CompactToSnapshot(const std::string& path,
 }
 
 void MutableStore::AdoptCompacted(uint64_t compacted_seq,
-                                  std::shared_ptr<const ShardedStore> base) {
+                                  std::shared_ptr<const ShardedStore> base,
+                                  const std::string& snapshot_path) {
   std::lock_guard<std::mutex> lock(mu_);
   base_ = std::move(base);
   auto it = runs_.begin();
@@ -246,13 +369,29 @@ void MutableStore::AdoptCompacted(uint64_t compacted_seq,
     }
   }
   ++compactions_;
+  RecountLiveLocked();
+  auto_compact_inflight_ = false;
+  if (wal_ != nullptr && !snapshot_path.empty()) {
+    // The caller vouches the snapshot's atomic rename landed; rotation
+    // failure just latches the Wal (read-only), never loses state.
+    (void)wal_->Rotate(compacted_seq, snapshot_path);
+  }
   InvalidateViewLocked();
 }
 
-void MutableStore::ResetBase(std::shared_ptr<const ShardedStore> base) {
+void MutableStore::ResetBase(std::shared_ptr<const ShardedStore> base,
+                             const std::string& snapshot_path) {
   std::lock_guard<std::mutex> lock(mu_);
   base_ = std::move(base);
   runs_.clear();
+  RecountLiveLocked();
+  auto_compact_inflight_ = false;
+  if (wal_ != nullptr && !snapshot_path.empty()) {
+    // Every prior record targets the abandoned base: rotate to a
+    // segment pinned to the new snapshot at the current seq so replay
+    // drops all of them, and retire the obsolete history.
+    (void)wal_->Rotate(seq_, snapshot_path);
+  }
   InvalidateViewLocked();
 }
 

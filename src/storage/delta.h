@@ -40,6 +40,7 @@
 #ifndef STANDOFF_STORAGE_DELTA_H_
 #define STANDOFF_STORAGE_DELTA_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,7 @@
 #include "common/thread_pool.h"
 #include "storage/sharded_store.h"
 #include "storage/store_view.h"
+#include "storage/wal.h"
 
 namespace standoff {
 namespace storage {
@@ -136,6 +138,7 @@ struct DeltaStats {
   uint64_t live_insert_rows = 0;   // rows currently pending in runs
   uint64_t live_tombstones = 0;    // ids currently tombstoned in runs
   uint64_t compactions = 0;        // AdoptCompacted calls
+  uint64_t auto_compact_triggers = 0;  // threshold crossings scheduled
 };
 
 /// The writer object: an immutable base plus the pending delta runs.
@@ -144,6 +147,37 @@ struct DeltaStats {
 class MutableStore {
  public:
   explicit MutableStore(std::shared_ptr<const ShardedStore> base);
+
+  /// Attaches the durability hook (DESIGN.md §16): every accepted
+  /// write is appended (and synced per the Wal's policy) BEFORE the
+  /// run is published and the seq returned, so an acknowledged write
+  /// is never lost to a crash. A failed append aborts the write with
+  /// kUnavailable and the store stays read-only until restart (the Wal
+  /// latches its failed state). Call during single-threaded setup,
+  /// before any writes; the Wal must outlive the store.
+  void AttachWal(Wal* wal);
+
+  /// Replays recovered WAL operations into an empty store (setup-time,
+  /// before AttachWal / any writes): each op is validated exactly like
+  /// a live write and applied with its ORIGINAL sequence number, and
+  /// the store's counter resumes above `recovery.max_seq`. Fails if a
+  /// replayed op does not validate against the base — that means the
+  /// log and the snapshot it was recovered against do not match.
+  Status Restore(const WalRecoveryResult& recovery);
+
+  /// Enables threshold-triggered auto-compaction: when the live delta
+  /// footprint (pending insert rows + tombstones) crosses `threshold`
+  /// at the end of a write, `schedule` is invoked once — outside the
+  /// store lock — and not again until AdoptCompacted / ResetBase /
+  /// AutoCompactDone clears the in-flight latch. `schedule` typically
+  /// submits CompactToSnapshot + AdoptCompacted to a shared pool.
+  /// Call during single-threaded setup. threshold 0 disables.
+  void SetAutoCompact(uint64_t threshold, std::function<void()> schedule);
+
+  /// Clears the auto-compaction in-flight latch after a scheduled
+  /// attempt that did NOT reach AdoptCompacted (compaction failure),
+  /// so a later write can trigger again.
+  void AutoCompactDone();
 
   /// Appends a region for element `id` of `doc` under the config
   /// fingerprint. Validates that the document exists, `id` names an
@@ -189,20 +223,48 @@ class MutableStore {
   /// Publishes the reopened compacted snapshot as the new base and
   /// rebases every run: operations with seq <= compacted_seq are
   /// already reflected in the new base and drop; later ones are kept.
-  /// Runs left empty disappear.
+  /// Runs left empty disappear. When a Wal is attached and
+  /// `snapshot_path` is non-empty (the just-renamed snapshot file —
+  /// the atomic rename MUST have landed), the log rotates to a fresh
+  /// segment recording that base and retires segments whose records
+  /// are all <= compacted_seq. An empty path skips rotation, which is
+  /// always safe: replaying the full log over the boot snapshot
+  /// reproduces the same state, compaction being transparent.
   void AdoptCompacted(uint64_t compacted_seq,
-                      std::shared_ptr<const ShardedStore> base);
+                      std::shared_ptr<const ShardedStore> base,
+                      const std::string& snapshot_path = "");
 
   /// Replaces the base with an unrelated snapshot (the server's manual
   /// hot-swap) and DROPS every pending delta — delta ids reference the
   /// old base's documents and would be meaningless over the new one.
-  void ResetBase(std::shared_ptr<const ShardedStore> base);
+  /// With a Wal attached and a non-empty `snapshot_path`, rotates to a
+  /// segment based on the new snapshot at the current seq, retiring
+  /// the now-obsolete history.
+  void ResetBase(std::shared_ptr<const ShardedStore> base,
+                 const std::string& snapshot_path = "");
 
  private:
   using Key = std::pair<DocId, std::string>;
 
   /// Rebuilds the cached view. Caller holds mu_.
   void InvalidateViewLocked() { view_.reset(); }
+
+  /// Validation shared by the live write path and WAL replay.
+  Status CheckInsertLocked(DocId doc, int64_t start, int64_t end,
+                           Pre id) const;
+  Status CheckDocLocked(DocId doc) const;
+  /// Mutates the run + live counters (no validation, no WAL, no seq
+  /// bump). Caller holds mu_.
+  void ApplyInsertLocked(DocId doc, const std::string& config_fingerprint,
+                         int64_t start, int64_t end, Pre id, uint64_t seq);
+  void ApplyDeleteLocked(DocId doc, const std::string& config_fingerprint,
+                         Pre id, uint64_t seq);
+  /// Recomputes live_rows_/live_tombstones_ from runs_. Caller holds mu_.
+  void RecountLiveLocked();
+  /// Arms the schedule callback when the threshold is crossed and the
+  /// latch is clear. Caller holds mu_; the returned callback (if any)
+  /// must be invoked AFTER releasing it.
+  std::function<void()> MaybeTriggerAutoCompactLocked();
 
   mutable std::mutex mu_;
   std::shared_ptr<const ShardedStore> base_;
@@ -212,6 +274,13 @@ class MutableStore {
   uint64_t inserts_total_ = 0;
   uint64_t deletes_total_ = 0;
   uint64_t compactions_ = 0;
+  uint64_t live_rows_ = 0;        // == sum of runs_ insert rows
+  uint64_t live_tombstones_ = 0;  // == sum of runs_ tombstones
+  Wal* wal_ = nullptr;
+  uint64_t auto_compact_threshold_ = 0;
+  std::function<void()> auto_compact_schedule_;
+  bool auto_compact_inflight_ = false;
+  uint64_t auto_compact_triggers_ = 0;
 };
 
 }  // namespace storage

@@ -1,0 +1,272 @@
+// Crash-safe write-ahead log for the mutable-store delta layer
+// (DESIGN.md §16): an append-only sequence of checksummed,
+// length-prefixed delta records that makes every acknowledged
+// InsertRegion / DeleteRegions durable before the store publishes it.
+//
+// Record format. Each record is framed
+//
+//   [u32 payload_len][u64 checksum64(payload)][payload]
+//
+// with payload
+//
+//   [u8 op][u64 seq][u32 doc][u32 id]
+//   [u64 start][u64 end]            (insert only, two's-complement i64)
+//   [config fingerprint bytes]      (rest of payload)
+//
+// All integers little-endian. The checksum covers the payload only;
+// a record whose length prefix is hostile (0 or > max_record_bytes),
+// whose frame is torn at any byte, or whose checksum mismatches is
+// CORRUPT, and everything from its first byte onward is an invalid
+// tail.
+//
+// Segment files. A WAL directory holds segments named
+// `wal-<16-digit index>.solog`, each opening with a header
+//
+//   [u64 magic][u32 version][u32 base_path_len]
+//   [u64 segment_index][u64 base_seq][base_path bytes]
+//   [u64 checksum64(header bytes above)]
+//
+// The header pins the segment to a base snapshot: every record in it
+// (and in later segments) with seq > base_seq must be replayed on top
+// of `base_path` to reconstruct acknowledged state. An empty base_path
+// means "the snapshot the server was booted with". Compaction rotates
+// to a fresh segment whose header records the just-adopted snapshot,
+// then retires older segments whose records are all <= the frozen seq
+// — see Wal::Rotate.
+//
+// Recovery (ReplayWal). Segments are scanned in index order. The
+// newest valid header wins the base; records are kept when
+// seq > base_seq. The first torn/corrupt record in the FINAL segment
+// truncates the file to the valid prefix (the tail was never
+// acknowledged under fsync=always, so dropping it is correct and makes
+// recovery idempotent); corruption in a non-final segment means
+// acknowledged history is unrecoverable and replay fails hard rather
+// than serve a silently wrong store.
+//
+// Fault injection. All file access goes through the FileIo interface;
+// tests substitute an implementation that injects short writes, fsync
+// failures, and crash points at arbitrary byte boundaries
+// (tests/fault_io.h). Any append/sync failure latches the Wal into a
+// sticky failed state: further writes fail fast with kUnavailable and
+// the server degrades to read-only.
+#ifndef STANDOFF_STORAGE_WAL_H_
+#define STANDOFF_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "storage/node_table.h"
+
+namespace standoff {
+namespace storage {
+
+// ---------------------------------------------------------------------------
+// Pluggable file I/O.
+
+/// An open append-only file. Implementations are NOT thread-safe; the
+/// Wal serializes access under its own lock.
+class WalFile {
+ public:
+  virtual ~WalFile() = default;
+  /// Appends all of `data` (short writes are an error and may leave a
+  /// torn tail on disk — exactly what recovery must truncate).
+  virtual Status Append(std::string_view data) = 0;
+  /// Durably flushes everything appended so far (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Filesystem access used by the WAL writer and replay. The default is
+/// PosixFileIo(); tests inject failures by wrapping it.
+class FileIo {
+ public:
+  virtual ~FileIo() = default;
+  virtual StatusOr<std::unique_ptr<WalFile>> OpenForAppend(
+      const std::string& path) = 0;
+  virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
+  /// Regular-file names (not paths) in `dir`. NotFound if `dir` does
+  /// not exist.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  /// fsyncs the directory itself (durable rename/unlink/create).
+  virtual Status SyncDir(const std::string& dir) = 0;
+  /// mkdir -p (single level); ok if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX implementation (never deleted).
+FileIo* PosixFileIo();
+
+// ---------------------------------------------------------------------------
+// Records.
+
+/// One logged delta operation. Mirrors MutableStore's write API.
+struct WalRecord {
+  enum class Op : uint8_t { kInsert = 1, kDelete = 2 };
+
+  Op op = Op::kInsert;
+  uint64_t seq = 0;
+  DocId doc = 0;
+  Pre id = 0;
+  int64_t start = 0;  // insert only
+  int64_t end = 0;    // insert only
+  std::string fingerprint;
+
+  bool operator==(const WalRecord& o) const {
+    return op == o.op && seq == o.seq && doc == o.doc && id == o.id &&
+           (op == Op::kDelete || (start == o.start && end == o.end)) &&
+           fingerprint == o.fingerprint;
+  }
+};
+
+/// Appends the framed encoding of `record` to `out`.
+void EncodeWalRecord(const WalRecord& record, std::string* out);
+
+enum class WalDecode {
+  kOk,       // record decoded, *offset advanced past it
+  kEnd,      // *offset == buffer.size(): clean end of segment
+  kCorrupt,  // torn frame, hostile length, or checksum mismatch
+};
+
+/// Decodes one framed record at `*offset`. On kOk advances *offset;
+/// on kEnd/kCorrupt leaves it at the record's first byte.
+WalDecode DecodeWalRecord(std::string_view buffer, size_t* offset,
+                          WalRecord* record, size_t max_record_bytes);
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+enum class WalSyncPolicy {
+  kAlways,    // fsync after every append: ack => durable
+  kEveryNMs,  // write-through every append (survives SIGKILL), fsync
+              // when >= sync_interval_ms elapsed since the last fsync
+  kNone,      // buffered bulk-load mode: no write-through, no fsync;
+              // records reach the kernel only on Sync/Rotate/close
+};
+
+struct WalOptions {
+  std::string dir;
+  WalSyncPolicy sync = WalSyncPolicy::kAlways;
+  double sync_interval_ms = 5.0;
+  /// Null selects PosixFileIo().
+  FileIo* io = nullptr;
+  /// Hostile-length guard for replay and the append path.
+  size_t max_record_bytes = 1u << 20;
+};
+
+struct WalStats {
+  uint64_t appends = 0;
+  uint64_t fsyncs = 0;
+  uint64_t rotations = 0;
+  uint64_t retired_segments = 0;
+  bool failed = false;
+};
+
+struct WalSegmentInfo {
+  uint64_t index = 0;
+  uint64_t max_seq = 0;  // 0 when the segment holds no records
+};
+
+/// What ReplayWal reconstructed from a WAL directory.
+struct WalRecoveryResult {
+  /// The snapshot the surviving ops apply to; empty = the boot
+  /// snapshot the caller was going to open anyway.
+  std::string base_path;
+  uint64_t base_seq = 0;
+  /// Ops with seq > base_seq, in append (= seq) order.
+  std::vector<WalRecord> ops;
+  /// Highest sequence number known to the log (>= base_seq); the
+  /// store's sequence counter must resume above it.
+  uint64_t max_seq = 0;
+  /// Index the next writer segment should use.
+  uint64_t next_segment_index = 1;
+  /// Records scanned across all segments (before the base_seq filter).
+  uint64_t scanned_records = 0;
+  /// Bytes dropped from a torn/corrupt final-segment tail.
+  uint64_t truncated_bytes = 0;
+  /// Surviving segments in index order (for retirement bookkeeping).
+  std::vector<WalSegmentInfo> segments;
+};
+
+/// Scans `options.dir` and reconstructs the acknowledged delta state.
+/// A missing directory is an empty log. Truncates a torn final-segment
+/// tail IN PLACE (recovery is idempotent); fails with kInternal when a
+/// non-final segment is corrupt.
+StatusOr<WalRecoveryResult> ReplayWal(const WalOptions& options);
+
+/// The append-side writer. Thread-safe; typically owned by the server
+/// and attached to its MutableStore.
+class Wal {
+ public:
+  /// Creates `options.dir` if needed and opens a fresh segment at
+  /// `recovery.next_segment_index` whose header records the recovered
+  /// base (pass a default WalRecoveryResult for a brand-new log).
+  static StatusOr<std::unique_ptr<Wal>> Open(
+      const WalOptions& options, const WalRecoveryResult& recovery);
+
+  ~Wal();
+
+  /// Appends one record and applies the sync policy. On any I/O error
+  /// the Wal latches failed() and every later call (including this
+  /// one) returns kUnavailable — the caller must NOT publish the op.
+  Status Append(const WalRecord& record);
+
+  /// Flushes buffered records and fsyncs the current segment.
+  Status Sync();
+
+  /// Rotates after a compaction: opens segment index+1 whose header
+  /// records (`base_seq`, `base_path`) — the just-renamed snapshot —
+  /// then retires every older segment whose records are all
+  /// <= base_seq. Call only AFTER the snapshot's atomic rename landed.
+  Status Rotate(uint64_t base_seq, const std::string& base_path);
+
+  bool failed() const;
+  WalStats stats() const;
+  uint64_t current_segment_index() const;
+
+ private:
+  Wal(const WalOptions& options, std::vector<WalSegmentInfo> segments);
+
+  /// Opens segment `index` with the given base header and makes it
+  /// current. Caller holds mu_.
+  Status OpenSegmentLocked(uint64_t index, uint64_t base_seq,
+                           const std::string& base_path);
+  /// Writes pending_ through to the file. Caller holds mu_.
+  Status FlushLocked();
+  Status SyncLocked();
+
+  WalOptions options_;
+  FileIo* io_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<WalFile> file_;
+  std::string pending_;      // kNone-policy user-space buffer
+  std::string scratch_;      // reused per-append encode buffer
+  bool failed_ = false;
+  uint64_t segment_index_ = 0;
+  uint64_t segment_max_seq_ = 0;  // highest seq appended to file_
+  /// Older segments still on disk (from recovery + prior rotations).
+  std::vector<WalSegmentInfo> old_segments_;
+  Timer sync_timer_;
+  bool sync_pending_ = false;  // bytes written since the last fsync
+  uint64_t appends_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t rotations_ = 0;
+  uint64_t retired_segments_ = 0;
+};
+
+/// `dir`/wal-<16-digit index>.solog — exposed for tests and tooling.
+std::string WalSegmentPath(const std::string& dir, uint64_t index);
+
+}  // namespace storage
+}  // namespace standoff
+
+#endif  // STANDOFF_STORAGE_WAL_H_

@@ -1,0 +1,114 @@
+// Fault-injecting FileIo for WAL tests: wraps the real POSIX
+// implementation and fails appends/fsyncs on budget — short writes
+// land their allowed prefix on disk first (exactly the torn tail a
+// real crash leaves), fsync failures strike after a configurable
+// number of successful syncs. Everything else delegates.
+#ifndef STANDOFF_TESTS_FAULT_IO_H_
+#define STANDOFF_TESTS_FAULT_IO_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/wal.h"
+
+namespace standoff {
+namespace faultio {
+
+class FaultFileIo : public storage::FileIo {
+ public:
+  explicit FaultFileIo(storage::FileIo* base = storage::PosixFileIo())
+      : base_(base) {}
+
+  /// Fail every WalFile::Sync after `n` successful ones (-1 = never).
+  void set_fail_syncs_after(int64_t n) { fail_syncs_after_ = n; }
+  /// Cumulative append-byte budget across all files: bytes beyond it
+  /// are dropped (the in-budget prefix IS written — a short write) and
+  /// the append reports failure. -1 = unlimited.
+  void set_fail_appends_after_bytes(int64_t n) { append_budget_ = n; }
+
+  int64_t syncs() const { return syncs_.load(); }
+  int64_t appended_bytes() const { return appended_bytes_.load(); }
+
+  StatusOr<std::unique_ptr<storage::WalFile>> OpenForAppend(
+      const std::string& path) override {
+    auto file = base_->OpenForAppend(path);
+    if (!file.ok()) return file.status();
+    return std::unique_ptr<storage::WalFile>(
+        new FaultFile(this, file.MoveValueUnsafe()));
+  }
+  StatusOr<std::string> ReadFileToString(const std::string& path) override {
+    return base_->ReadFileToString(path);
+  }
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status Truncate(const std::string& path, uint64_t size) override {
+    return base_->Truncate(path, size);
+  }
+  Status Remove(const std::string& path) override {
+    return base_->Remove(path);
+  }
+  Status SyncDir(const std::string& dir) override {
+    return base_->SyncDir(dir);
+  }
+  Status CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+
+ private:
+  class FaultFile : public storage::WalFile {
+   public:
+    FaultFile(FaultFileIo* owner, std::unique_ptr<storage::WalFile> base)
+        : owner_(owner), base_(std::move(base)) {}
+
+    Status Append(std::string_view data) override {
+      const int64_t budget = owner_->append_budget_.load();
+      if (budget >= 0) {
+        const int64_t used = owner_->appended_bytes_.load();
+        const int64_t room = budget - used;
+        if (room < static_cast<int64_t>(data.size())) {
+          if (room > 0) {
+            // The short write: the allowed prefix reaches the file.
+            (void)base_->Append(data.substr(0, static_cast<size_t>(room)));
+            owner_->appended_bytes_.fetch_add(room);
+          }
+          return Status::Internal("injected short write");
+        }
+      }
+      const Status st = base_->Append(data);
+      if (st.ok()) {
+        owner_->appended_bytes_.fetch_add(static_cast<int64_t>(data.size()));
+      }
+      return st;
+    }
+
+    Status Sync() override {
+      const int64_t limit = owner_->fail_syncs_after_.load();
+      if (limit >= 0 && owner_->syncs_.load() >= limit) {
+        return Status::Internal("injected fsync failure");
+      }
+      const Status st = base_->Sync();
+      if (st.ok()) owner_->syncs_.fetch_add(1);
+      return st;
+    }
+
+    Status Close() override { return base_->Close(); }
+
+   private:
+    FaultFileIo* owner_;
+    std::unique_ptr<storage::WalFile> base_;
+  };
+
+  storage::FileIo* base_;
+  std::atomic<int64_t> fail_syncs_after_{-1};
+  std::atomic<int64_t> append_budget_{-1};
+  std::atomic<int64_t> syncs_{0};
+  std::atomic<int64_t> appended_bytes_{0};
+};
+
+}  // namespace faultio
+}  // namespace standoff
+
+#endif  // STANDOFF_TESTS_FAULT_IO_H_

@@ -271,8 +271,14 @@ static void TestClientDisconnectMidStream() {
   }
   auto client = fx.Connect();
   CHECK_OK(client->Ping());
-  auto reply = client->Query(kChainQuery);
+  // The eight abandoned queries were all admitted and may still be
+  // draining; retry past their transient busy rejections rather than
+  // racing the worker pool.
+  server::QueryRetryOptions retry;
+  retry.max_attempts = 50;
+  auto reply = client->QueryWithRetry(kChainQuery, retry);
   CHECK_OK(reply);
+  CHECK(!reply->busy);
   CHECK(reply->rows > 0);
 }
 

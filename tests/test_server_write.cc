@@ -2,9 +2,11 @@
 // exchange, insert/delete frames landing in the server's delta layer
 // and changing query results, compaction publishing a new generation
 // whose results are byte-identical, delta counters in the stats frame,
-// manual hot-swap dropping pending deltas, and unknown-frame handling
-// (the forward-compatibility story for old servers). Runs under
-// ASan/TSan in the sanitizer CI jobs.
+// manual hot-swap dropping pending deltas, unknown-frame handling
+// (the forward-compatibility story for old servers), hostile frame
+// lengths, WAL boot recovery across a restart, read-only degradation
+// under injected WAL failures, and threshold-triggered auto-compaction.
+// Runs under ASan/TSan in the sanitizer CI jobs.
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -18,6 +20,8 @@
 #include "standoff/region_index.h"
 #include "storage/sharded_store.h"
 #include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "tests/fault_io.h"
 #include "tests/harness.h"
 #include "xquery/engine.h"
 
@@ -29,6 +33,20 @@ namespace {
 std::string TempPath(const char* name) {
   return std::string("/tmp/standoff_test_") + name + "_" +
          std::to_string(::getpid()) + ".sosnap";
+}
+
+std::string TempWalDir(const char* name) {
+  return std::string("/tmp/standoff_test_") + name + "_" +
+         std::to_string(::getpid()) + ".waldir";
+}
+
+void RemoveTree(const std::string& dir) {
+  storage::FileIo* io = storage::PosixFileIo();
+  auto names = io->ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) (void)io->Remove(dir + "/" + name);
+  }
+  ::rmdir(dir.c_str());
 }
 
 // The corpus, one element per line below; pre = position + 2 (pre 0
@@ -58,12 +76,14 @@ constexpr char kChainQuery[] =
     "chain doc=0 ctx=scene steps=select-narrow:speech,select-narrow:word";
 
 struct WriteFixture {
-  explicit WriteFixture(const char* name) {
+  explicit WriteFixture(const char* name,
+                        const server::ServerConfig& config =
+                            server::ServerConfig{}) {
     path = TempPath(name);
     storage::ShardedStore store(1);
     CHECK_OK(store.AddDocumentText("d0", CorpusXml()));
     CHECK_OK(storage::SaveSnapshot(store, path));
-    auto started = server::Server::Start(path, server::ServerConfig{});
+    auto started = server::Server::Start(path, config);
     CHECK_OK(started);
     srv = started.MoveValueUnsafe();
   }
@@ -307,6 +327,176 @@ static void TestUnknownFrameTypeIsClientSafe() {
   ExpectQueryMatches(client.get(), CorpusXml());
 }
 
+// A length prefix past kMaxFrameBytes must be refused BEFORE any
+// allocation: the server answers kError with the cap diagnostic and
+// drops the connection; the process itself shrugs it off.
+static void TestHostileFrameLengthIsRejected() {
+  WriteFixture fx("write_hostile");
+  auto client = fx.Connect();
+  const uint8_t huge[4] = {0, 0, 0, 0x10};  // announces 256 MiB
+  CHECK_EQ(::send(client->fd(), huge, sizeof huge, 0),
+           static_cast<ssize_t>(sizeof huge));
+  auto reply = server::ReadFrame(client->fd());
+  CHECK_OK(reply);
+  if (reply.ok()) CHECK(reply->type == server::MsgType::kError);
+  auto eof = server::ReadFrame(client->fd());
+  CHECK(!eof.ok());  // the hostile connection is closed
+
+  // Zero-length frames die the same way.
+  auto client2 = fx.Connect();
+  const uint8_t zero[4] = {0, 0, 0, 0};
+  CHECK_EQ(::send(client2->fd(), zero, sizeof zero, 0),
+           static_cast<ssize_t>(sizeof zero));
+  auto reply2 = server::ReadFrame(client2->fd());
+  CHECK_OK(reply2);
+  if (reply2.ok()) CHECK(reply2->type == server::MsgType::kError);
+
+  // The server survives hostile peers: fresh connections work.
+  auto client3 = fx.Connect();
+  CHECK_OK(client3->Ping());
+  ExpectQueryMatches(client3.get(), CorpusXml());
+}
+
+// Boot recovery (DESIGN.md §16): acknowledged writes survive a restart
+// that never checkpointed — the delta state lives only in the WAL.
+static void TestWalRestartRecoveryOverWire() {
+  const std::string wal_dir = TempWalDir("write_walrestart");
+  RemoveTree(wal_dir);
+  server::ServerConfig config;
+  config.wal_dir = wal_dir;
+  WriteFixture fx("write_walrestart", config);
+  {
+    auto client = fx.Connect();
+    CHECK_OK(client->InsertRegion(0, kBareWord1, 140, 160));
+    CHECK_OK(client->DeleteRegions(0, kWord2));
+    auto stats = client->Stats();
+    CHECK_OK(stats);
+    if (stats.ok()) {
+      CHECK_EQ(stats->wal_appends, uint64_t{2});
+      CHECK(stats->wal_fsyncs >= uint64_t{2});  // fsync=always
+      CHECK_EQ(stats->wal_replayed_ops, uint64_t{0});
+    }
+  }
+  // Tear the server down WITHOUT compacting and boot a fresh one on
+  // the same snapshot + --wal-dir.
+  fx.srv->Stop();
+  fx.srv.reset();
+  auto restarted = server::Server::Start(fx.path, config);
+  CHECK_OK(restarted);
+  if (!restarted.ok()) return;
+  fx.srv = restarted.MoveValueUnsafe();
+
+  auto client = fx.Connect();
+  auto stats = client->Stats();
+  CHECK_OK(stats);
+  if (stats.ok()) {
+    CHECK_EQ(stats->wal_replayed_ops, uint64_t{2});
+    CHECK_EQ(stats->wal_truncated_bytes, uint64_t{0});
+    CHECK_EQ(stats->delta_live_rows, uint64_t{1});
+    CHECK_EQ(stats->delta_live_tombstones, uint64_t{1});
+  }
+  const char* recovered_xml =
+      "<play>"
+      "<scene start=\"0\" end=\"999\"/>"
+      "<speech start=\"100\" end=\"400\"/>"
+      "<word start=\"110\" end=\"130\"/>"
+      "<word start=\"140\" end=\"160\"/>"
+      "<speech start=\"500\" end=\"800\"/>"
+      "<word/>"
+      "<word/>"
+      "</play>";
+  ExpectQueryMatches(client.get(), recovered_xml);
+  // New writes continue above the recovered sequence numbers.
+  auto seq = client->InsertRegion(0, kBareWord2, 540, 560);
+  CHECK_OK(seq);
+  if (seq.ok()) CHECK_EQ(*seq, uint64_t{3});
+  RemoveTree(wal_dir);
+}
+
+// An injected fsync failure mid-flight: the write is refused with the
+// transient kUnavailable (never acked, never applied), the store
+// latches read-only, and queries keep serving the pre-failure state.
+static void TestWalFailureDegradesToReadOnly() {
+  const std::string wal_dir = TempWalDir("write_walfail");
+  RemoveTree(wal_dir);
+  faultio::FaultFileIo fault;  // outlives the fixture below
+  server::ServerConfig config;
+  config.wal_dir = wal_dir;
+  config.wal_io = &fault;
+  WriteFixture fx("write_walfail", config);
+  auto client = fx.Connect();
+  CHECK_OK(client->InsertRegion(0, kBareWord1, 140, 160));
+
+  fault.set_fail_syncs_after(fault.syncs());  // the next fsync fails
+  // The eating-it write reports the root cause; the ack never happens.
+  auto failed = client->InsertRegion(0, kBareWord2, 540, 560);
+  CHECK(!failed.ok());
+  // Sticky: every later write fails fast with the transient code.
+  auto later = client->DeleteRegions(0, kWord2);
+  CHECK(!later.ok());
+  CHECK(later.status().code() == StatusCode::kUnavailable);
+
+  // Reads are untouched: the acknowledged prefix keeps serving.
+  const char* acked_xml =
+      "<play>"
+      "<scene start=\"0\" end=\"999\"/>"
+      "<speech start=\"100\" end=\"400\"/>"
+      "<word start=\"110\" end=\"130\"/>"
+      "<word start=\"140\" end=\"160\"/>"
+      "<speech start=\"500\" end=\"800\"/>"
+      "<word start=\"510\" end=\"530\"/>"
+      "<word/>"
+      "</play>";
+  ExpectQueryMatches(client.get(), acked_xml);
+  auto stats = client->Stats();
+  CHECK_OK(stats);
+  if (stats.ok()) {
+    CHECK_EQ(stats->delta_inserts, uint64_t{1});  // the failed op left none
+    CHECK_EQ(stats->queries_ok > 0, true);
+  }
+  RemoveTree(wal_dir);
+}
+
+// Threshold-triggered auto-compaction: crossing the live-rows bound
+// schedules one background compaction that publishes a new generation
+// and drains the delta, all without a client Compact frame.
+static void TestAutoCompactionOverWire() {
+  server::ServerConfig config;
+  config.compact_live_rows_threshold = 2;
+  WriteFixture fx("write_autocompact", config);
+  auto client = fx.Connect();
+  CHECK_OK(client->InsertRegion(0, kBareWord1, 140, 160));
+  CHECK_OK(client->InsertRegion(0, kBareWord2, 540, 560));  // crosses 2
+
+  server::ServerStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    auto got = client->Stats();
+    CHECK_OK(got);
+    if (!got.ok()) return;
+    stats = *got;
+    if (stats.auto_compactions >= 1) break;
+    ::usleep(10 * 1000);
+  }
+  CHECK_EQ(stats.auto_compactions, uint64_t{1});
+  CHECK_EQ(stats.compactions, uint64_t{1});
+  CHECK(stats.generation >= 2);
+  CHECK_EQ(stats.delta_live_rows, uint64_t{0});
+
+  // The compacted generation serves the same merged state.
+  const char* compacted_xml =
+      "<play>"
+      "<scene start=\"0\" end=\"999\"/>"
+      "<speech start=\"100\" end=\"400\"/>"
+      "<word start=\"110\" end=\"130\"/>"
+      "<word start=\"140\" end=\"160\"/>"
+      "<speech start=\"500\" end=\"800\"/>"
+      "<word start=\"510\" end=\"530\"/>"
+      "<word start=\"540\" end=\"560\"/>"
+      "</play>";
+  ExpectQueryMatches(client.get(), compacted_xml);
+  std::remove((fx.path + ".gen2").c_str());
+}
+
 int main() {
   RUN_TEST(TestHelloVersionExchange);
   RUN_TEST(TestWriteQueryCompactQuery);
@@ -314,5 +504,9 @@ int main() {
   RUN_TEST(TestSwapDropsPendingDeltas);
   RUN_TEST(TestWriteValidationOverWire);
   RUN_TEST(TestUnknownFrameTypeIsClientSafe);
+  RUN_TEST(TestHostileFrameLengthIsRejected);
+  RUN_TEST(TestWalRestartRecoveryOverWire);
+  RUN_TEST(TestWalFailureDegradesToReadOnly);
+  RUN_TEST(TestAutoCompactionOverWire);
   TEST_MAIN();
 }
